@@ -1,0 +1,250 @@
+//! Entropy characterisation (figure 1).
+//!
+//! §IV-A.1: for each remote *leecher* peer, two ratios are computed over
+//! the time the local peer is in leecher state:
+//!
+//! * **a/b** — `a` = time the local peer is interested in the remote,
+//!   `b` = time the remote spent in the peer set;
+//! * **c/d** — `c` = time the remote is interested in the local peer,
+//!   `d` = same denominator.
+//!
+//! Ideal entropy means both ratios are 1 for every pair. Peers that stay
+//! under 10 seconds are filtered as churn noise, exactly as the paper
+//! does.
+
+use crate::intervals::{overlap_secs, window_overlap_secs, IntervalBuilder};
+use crate::stats::{percentiles, Percentiles};
+use bt_instrument::identify::PeerRegistry;
+use bt_instrument::trace::{Trace, TraceEvent};
+use bt_wire::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's churn filter: ignore peers seen under this many seconds.
+pub const MIN_MEMBERSHIP_SECS: f64 = 10.0;
+
+/// Per-remote-peer entropy ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerRatios {
+    /// Trace connection handle.
+    pub handle: u32,
+    /// Ratio a/b: local interested in remote.
+    pub local_in_remote: f64,
+    /// Ratio c/d: remote interested in local.
+    pub remote_in_local: f64,
+    /// Denominator: seconds the remote spent in the peer set during the
+    /// local peer's leecher state.
+    pub membership_secs: f64,
+}
+
+/// Figure-1 style summary for one torrent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropySummary {
+    /// Per-peer ratios (filtered).
+    pub peers: Vec<PeerRatios>,
+    /// Percentiles of a/b over peers (top graph bar).
+    pub local_in_remote: Percentiles,
+    /// Percentiles of c/d over peers (bottom graph bar).
+    pub remote_in_local: Percentiles,
+}
+
+/// Compute the entropy characterisation of a trace.
+///
+/// Only the local peer's leecher-state window `[0, seed_at)` counts, and
+/// remote peers that arrived as seeds are excluded (seeds are always
+/// interesting and never interested — §IV-A.1 footnote 4).
+pub fn entropy(trace: &Trace) -> EntropySummary {
+    let registry = PeerRegistry::from_trace(trace);
+    let ls_end = trace.meta.seed_at.unwrap_or(trace.meta.session_end);
+    let ls_start = Instant::ZERO;
+
+    // Interest interval builders per connection handle.
+    let mut local_interest: HashMap<u32, IntervalBuilder> = HashMap::new();
+    let mut remote_interest: HashMap<u32, IntervalBuilder> = HashMap::new();
+    for (t, ev) in trace.iter() {
+        match ev {
+            TraceEvent::LocalInterest { peer, interested } => {
+                local_interest
+                    .entry(*peer)
+                    .or_default()
+                    .transition(t, *interested);
+            }
+            TraceEvent::RemoteInterest { peer, interested } => {
+                remote_interest
+                    .entry(*peer)
+                    .or_default()
+                    .transition(t, *interested);
+            }
+            _ => {}
+        }
+    }
+    let mut local_ivs: HashMap<u32, Vec<crate::intervals::Interval>> = local_interest
+        .into_iter()
+        .map(|(h, b)| (h, b.finish(trace.meta.session_end)))
+        .collect();
+    let mut remote_ivs: HashMap<u32, Vec<crate::intervals::Interval>> = remote_interest
+        .into_iter()
+        .map(|(h, b)| (h, b.finish(trace.meta.session_end)))
+        .collect();
+
+    let mut peers = Vec::new();
+    for m in &registry.memberships {
+        // Clamp membership to the leecher-state window.
+        let b = window_overlap_secs(m.joined, m.left, ls_start, ls_end);
+        if b < MIN_MEMBERSHIP_SECS {
+            continue; // the 10-second churn filter
+        }
+        if m.arrived_as_seed(trace.meta.num_pieces) {
+            continue; // only leechers are relevant for entropy
+        }
+        let win_end = m.left.min(ls_end);
+        let win_start = m.joined.max(ls_start);
+        let a = local_ivs
+            .remove(&m.handle)
+            .map(|ivs| overlap_secs(&ivs, win_start, win_end))
+            .unwrap_or(0.0);
+        let c = remote_ivs
+            .remove(&m.handle)
+            .map(|ivs| overlap_secs(&ivs, win_start, win_end))
+            .unwrap_or(0.0);
+        peers.push(PeerRatios {
+            handle: m.handle,
+            local_in_remote: (a / b).clamp(0.0, 1.0),
+            remote_in_local: (c / b).clamp(0.0, 1.0),
+            membership_secs: b,
+        });
+    }
+
+    let ab: Vec<f64> = peers.iter().map(|p| p.local_in_remote).collect();
+    let cd: Vec<f64> = peers.iter().map(|p| p.remote_in_local).collect();
+    EntropySummary {
+        local_in_remote: percentiles(&ab),
+        remote_in_local: percentiles(&cd),
+        peers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_instrument::trace::TraceMeta;
+    use bt_wire::peer_id::{ClientKind, IpAddr, PeerId};
+
+    fn meta(seed_at: Option<u64>) -> TraceMeta {
+        TraceMeta {
+            torrent: "e".into(),
+            torrent_id: 1,
+            num_pieces: 10,
+            num_blocks: 160,
+            initial_seeds: 1,
+            initial_leechers: 3,
+            session_end: Instant::from_secs(1000),
+            seed_at: seed_at.map(Instant::from_secs),
+        }
+    }
+
+    fn join(tr: &mut Trace, t: u64, h: u32, pieces: u32) {
+        tr.push(
+            Instant::from_secs(t),
+            TraceEvent::PeerJoined {
+                peer: h,
+                ip: IpAddr(h + 1),
+                peer_id: PeerId::new(ClientKind::Azureus, u64::from(h)),
+                pieces_on_arrival: pieces,
+                total_pieces: 10,
+            },
+        );
+    }
+
+    #[test]
+    fn ideal_entropy_scores_one() {
+        let mut tr = Trace::new(meta(Some(500)));
+        join(&mut tr, 0, 0, 2);
+        tr.push(
+            Instant::from_secs(0),
+            TraceEvent::LocalInterest {
+                peer: 0,
+                interested: true,
+            },
+        );
+        tr.push(
+            Instant::from_secs(0),
+            TraceEvent::RemoteInterest {
+                peer: 0,
+                interested: true,
+            },
+        );
+        let s = entropy(&tr);
+        assert_eq!(s.peers.len(), 1);
+        assert!((s.peers[0].local_in_remote - 1.0).abs() < 1e-9);
+        assert!((s.peers[0].remote_in_local - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_interest_scores_fraction() {
+        let mut tr = Trace::new(meta(Some(100)));
+        join(&mut tr, 0, 0, 2);
+        // Interested for 25 of the 100 leecher-state seconds.
+        tr.push(
+            Instant::from_secs(10),
+            TraceEvent::LocalInterest {
+                peer: 0,
+                interested: true,
+            },
+        );
+        tr.push(
+            Instant::from_secs(35),
+            TraceEvent::LocalInterest {
+                peer: 0,
+                interested: false,
+            },
+        );
+        let s = entropy(&tr);
+        assert!((s.peers[0].local_in_remote - 0.25).abs() < 1e-9);
+        assert_eq!(s.peers[0].remote_in_local, 0.0);
+    }
+
+    #[test]
+    fn filters_churners_and_seeds() {
+        let mut tr = Trace::new(meta(Some(500)));
+        join(&mut tr, 0, 0, 2); // normal leecher
+        join(&mut tr, 0, 1, 10); // arrived as seed → excluded
+        join(&mut tr, 100, 2, 0); // churner
+        tr.push(Instant::from_secs(105), TraceEvent::PeerLeft { peer: 2 });
+        let s = entropy(&tr);
+        assert_eq!(s.peers.len(), 1);
+        assert_eq!(s.peers[0].handle, 0);
+    }
+
+    #[test]
+    fn interest_outside_leecher_state_ignored() {
+        let mut tr = Trace::new(meta(Some(100)));
+        join(&mut tr, 0, 0, 2);
+        // Interest starts only after the local peer becomes a seed.
+        tr.push(
+            Instant::from_secs(200),
+            TraceEvent::LocalInterest {
+                peer: 0,
+                interested: true,
+            },
+        );
+        let s = entropy(&tr);
+        assert_eq!(s.peers[0].local_in_remote, 0.0);
+    }
+
+    #[test]
+    fn open_interest_interval_counts_to_window_end() {
+        let mut tr = Trace::new(meta(None)); // never became seed
+        join(&mut tr, 0, 0, 2);
+        tr.push(
+            Instant::from_secs(500),
+            TraceEvent::LocalInterest {
+                peer: 0,
+                interested: true,
+            },
+        );
+        let s = entropy(&tr);
+        // Interested from 500 to session end (1000) out of 1000 total.
+        assert!((s.peers[0].local_in_remote - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,367 @@
+//! Fairness characterisation of the choke algorithm (figures 9 and 11).
+//!
+//! §IV-B.2 (figure 9, leecher state): rank remote peers by the bytes the
+//! local peer uploaded to them, group them into sets of five ("the first
+//! set contains the 5 remote peers that receive the most bytes"), and
+//! show each set's share of total uploaded bytes (top graph) and of total
+//! bytes downloaded *from leechers* (bottom graph, seeds removed because
+//! they cannot be reciprocated to). Strong reciprocation shows as the
+//! same (dark) sets dominating both graphs.
+//!
+//! §IV-B.3 (figure 11, seed state): the same set construction over bytes
+//! uploaded while in seed state; the new seed-state choke algorithm gives
+//! near-equal shares.
+
+use bt_instrument::identify::PeerRegistry;
+use bt_instrument::trace::{Trace, TraceEvent};
+use bt_wire::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Size of each ranked peer set (the paper uses 5).
+pub const SET_SIZE: usize = 5;
+
+/// Number of sets shown (6 sets → the 30 best downloaders).
+pub const NUM_SETS: usize = 6;
+
+/// Byte tallies for one remote peer over one local-state window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerBytes {
+    /// Trace connection handle.
+    pub handle: u32,
+    /// Bytes the local peer uploaded to this peer in the window.
+    pub uploaded: u64,
+    /// Bytes the local peer downloaded from this peer in the window.
+    pub downloaded: u64,
+    /// True when the peer arrived holding every piece.
+    pub is_seed: bool,
+}
+
+/// Figure 9 / figure 11 summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessSummary {
+    /// Per-peer tallies, ranked by `uploaded` descending.
+    pub ranked: Vec<PeerBytes>,
+    /// Each set's share of total uploaded bytes (top graph, cumulative by
+    /// set, `NUM_SETS` entries; zero-filled when fewer peers exist).
+    pub upload_share: Vec<f64>,
+    /// Each set's share of bytes downloaded from leechers (bottom graph).
+    pub download_share: Vec<f64>,
+    /// Total bytes uploaded in the window.
+    pub total_uploaded: u64,
+    /// Total bytes downloaded from leechers in the window.
+    pub total_downloaded: u64,
+}
+
+/// Which local-state window to tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateWindow {
+    /// From session start to the seed transition (figure 9, "LS").
+    Leecher,
+    /// From the seed transition to session end (figure 11, "SS").
+    Seed,
+}
+
+/// Compute the fairness characterisation for one trace and window.
+pub fn fairness(trace: &Trace, window: StateWindow) -> FairnessSummary {
+    let seed_at = trace.meta.seed_at.unwrap_or(trace.meta.session_end);
+    let (start, end) = match window {
+        StateWindow::Leecher => (Instant::ZERO, seed_at),
+        StateWindow::Seed => (seed_at, trace.meta.session_end),
+    };
+    let registry = PeerRegistry::from_trace(trace);
+    let mut tallies: HashMap<u32, PeerBytes> = HashMap::new();
+    for (t, ev) in trace.iter() {
+        if t < start || t >= end {
+            continue;
+        }
+        match ev {
+            TraceEvent::BlockSent { peer, block } => {
+                let e = tallies.entry(*peer).or_insert(PeerBytes {
+                    handle: *peer,
+                    uploaded: 0,
+                    downloaded: 0,
+                    is_seed: false,
+                });
+                e.uploaded += u64::from(block.length);
+            }
+            TraceEvent::BlockReceived { peer, block } => {
+                let e = tallies.entry(*peer).or_insert(PeerBytes {
+                    handle: *peer,
+                    uploaded: 0,
+                    downloaded: 0,
+                    is_seed: false,
+                });
+                e.downloaded += u64::from(block.length);
+            }
+            _ => {}
+        }
+    }
+    for tally in tallies.values_mut() {
+        tally.is_seed = registry
+            .membership(tally.handle)
+            .map(|m| m.arrived_as_seed(trace.meta.num_pieces))
+            .unwrap_or(false);
+    }
+
+    let mut ranked: Vec<PeerBytes> = tallies.into_values().collect();
+    ranked.sort_by(|a, b| b.uploaded.cmp(&a.uploaded).then(a.handle.cmp(&b.handle)));
+
+    let total_uploaded: u64 = ranked.iter().map(|p| p.uploaded).sum();
+    // "All seeds are removed from the data used for the bottom graph":
+    // the download denominator counts only leechers.
+    let total_downloaded: u64 = ranked
+        .iter()
+        .filter(|p| !p.is_seed)
+        .map(|p| p.downloaded)
+        .sum();
+
+    let mut upload_share = Vec::with_capacity(NUM_SETS);
+    let mut download_share = Vec::with_capacity(NUM_SETS);
+    for set in 0..NUM_SETS {
+        let slice: Vec<&PeerBytes> = ranked.iter().skip(set * SET_SIZE).take(SET_SIZE).collect();
+        let up: u64 = slice.iter().map(|p| p.uploaded).sum();
+        let down: u64 = slice
+            .iter()
+            .filter(|p| !p.is_seed)
+            .map(|p| p.downloaded)
+            .sum();
+        upload_share.push(if total_uploaded > 0 {
+            up as f64 / total_uploaded as f64
+        } else {
+            0.0
+        });
+        download_share.push(if total_downloaded > 0 {
+            down as f64 / total_downloaded as f64
+        } else {
+            0.0
+        });
+    }
+
+    FairnessSummary {
+        ranked,
+        upload_share,
+        download_share,
+        total_uploaded,
+        total_downloaded,
+    }
+}
+
+impl FairnessSummary {
+    /// Share of uploads captured by the five best downloaders (the black
+    /// set). High values reproduce §IV-B.2's "the 5 peers that receive
+    /// the most data represent a large part of the total".
+    pub fn top_set_upload_share(&self) -> f64 {
+        self.upload_share.first().copied().unwrap_or(0.0)
+    }
+
+    /// Reciprocation correlation: Spearman-style agreement between upload
+    /// rank and download contribution — the fraction of downloaded bytes
+    /// (from leechers) contributed by the top `k` upload-ranked peers.
+    pub fn reciprocation_share(&self, k: usize) -> f64 {
+        if self.total_downloaded == 0 {
+            return 0.0;
+        }
+        let down: u64 = self
+            .ranked
+            .iter()
+            .take(k)
+            .filter(|p| !p.is_seed)
+            .map(|p| p.downloaded)
+            .sum();
+        down as f64 / self.total_downloaded as f64
+    }
+
+    /// Jain's fairness index over per-peer uploaded bytes — 1.0 means
+    /// perfectly equal service, the new seed-state algorithm's target.
+    pub fn jain_index(&self) -> f64 {
+        let served: Vec<f64> = self
+            .ranked
+            .iter()
+            .filter(|p| p.uploaded > 0)
+            .map(|p| p.uploaded as f64)
+            .collect();
+        if served.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = served.iter().sum();
+        let sum_sq: f64 = served.iter().map(|x| x * x).sum();
+        (sum * sum) / (served.len() as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_instrument::trace::TraceMeta;
+    use bt_wire::message::BlockRef;
+    use bt_wire::peer_id::{ClientKind, IpAddr, PeerId};
+
+    fn block(len: u32) -> BlockRef {
+        BlockRef {
+            piece: 0,
+            offset: 0,
+            length: len,
+        }
+    }
+
+    fn trace() -> Trace {
+        let meta = TraceMeta {
+            torrent: "f".into(),
+            torrent_id: 7,
+            num_pieces: 10,
+            num_blocks: 160,
+            initial_seeds: 1,
+            initial_leechers: 3,
+            session_end: Instant::from_secs(1000),
+            seed_at: Some(Instant::from_secs(500)),
+        };
+        let mut tr = Trace::new(meta);
+        for h in 0..3u32 {
+            tr.push(
+                Instant::from_secs(0),
+                TraceEvent::PeerJoined {
+                    peer: h,
+                    ip: IpAddr(h + 1),
+                    peer_id: PeerId::new(ClientKind::Azureus, u64::from(h)),
+                    pieces_on_arrival: if h == 2 { 10 } else { 0 },
+                    total_pieces: 10,
+                },
+            );
+        }
+        tr
+    }
+
+    #[test]
+    fn reciprocation_tallies() {
+        let mut tr = trace();
+        // LS: upload 3 blocks to peer 0, 1 to peer 1; download 2 from
+        // peer 0, 1 from peer 1, 5 from the seed (peer 2).
+        for _ in 0..3 {
+            tr.push(
+                Instant::from_secs(10),
+                TraceEvent::BlockSent {
+                    peer: 0,
+                    block: block(100),
+                },
+            );
+        }
+        tr.push(
+            Instant::from_secs(10),
+            TraceEvent::BlockSent {
+                peer: 1,
+                block: block(100),
+            },
+        );
+        tr.push(
+            Instant::from_secs(11),
+            TraceEvent::BlockReceived {
+                peer: 0,
+                block: block(100),
+            },
+        );
+        tr.push(
+            Instant::from_secs(11),
+            TraceEvent::BlockReceived {
+                peer: 0,
+                block: block(100),
+            },
+        );
+        tr.push(
+            Instant::from_secs(11),
+            TraceEvent::BlockReceived {
+                peer: 1,
+                block: block(100),
+            },
+        );
+        for _ in 0..5 {
+            tr.push(
+                Instant::from_secs(12),
+                TraceEvent::BlockReceived {
+                    peer: 2,
+                    block: block(100),
+                },
+            );
+        }
+        let f = fairness(&tr, StateWindow::Leecher);
+        assert_eq!(f.total_uploaded, 400);
+        // Seed's 500 bytes are excluded from the download denominator.
+        assert_eq!(f.total_downloaded, 300);
+        assert_eq!(f.ranked[0].handle, 0);
+        // Top set holds every peer (only 3), so shares sum to 1.
+        assert!((f.upload_share[0] - 1.0).abs() < 1e-9);
+        assert!((f.reciprocation_share(1) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seed_state_window() {
+        let mut tr = trace();
+        tr.push(
+            Instant::from_secs(100),
+            TraceEvent::BlockSent {
+                peer: 0,
+                block: block(50),
+            },
+        );
+        tr.push(
+            Instant::from_secs(600),
+            TraceEvent::BlockSent {
+                peer: 1,
+                block: block(70),
+            },
+        );
+        let ls = fairness(&tr, StateWindow::Leecher);
+        let ss = fairness(&tr, StateWindow::Seed);
+        assert_eq!(ls.total_uploaded, 50);
+        assert_eq!(ss.total_uploaded, 70);
+        assert_eq!(ss.ranked[0].handle, 1);
+    }
+
+    #[test]
+    fn jain_index_equal_service_is_one() {
+        let mut tr = trace();
+        for h in 0..3u32 {
+            tr.push(
+                Instant::from_secs(600),
+                TraceEvent::BlockSent {
+                    peer: h,
+                    block: block(100),
+                },
+            );
+        }
+        let ss = fairness(&tr, StateWindow::Seed);
+        assert!((ss.jain_index() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_detects_monopoly() {
+        let mut tr = trace();
+        for _ in 0..9 {
+            tr.push(
+                Instant::from_secs(600),
+                TraceEvent::BlockSent {
+                    peer: 0,
+                    block: block(100),
+                },
+            );
+        }
+        tr.push(
+            Instant::from_secs(600),
+            TraceEvent::BlockSent {
+                peer: 1,
+                block: block(100),
+            },
+        );
+        let ss = fairness(&tr, StateWindow::Seed);
+        assert!(ss.jain_index() < 0.7, "index {}", ss.jain_index());
+    }
+
+    #[test]
+    fn empty_window_is_zeroes() {
+        let tr = trace();
+        let f = fairness(&tr, StateWindow::Seed);
+        assert_eq!(f.total_uploaded, 0);
+        assert_eq!(f.upload_share, vec![0.0; NUM_SETS]);
+        assert_eq!(f.jain_index(), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Piece and block interarrival times (figures 7 and 8).
+//!
+//! §IV-A.3: the paper plots the CDF of interarrival times for all pieces,
+//! the 100 *first* downloaded pieces, and the 100 *last* downloaded
+//! pieces (and likewise for blocks), showing that the feared *last pieces
+//! problem* is absent in steady state while a *first pieces/blocks
+//! problem* exists: the first 100 arrivals are markedly slower.
+
+use crate::stats::Cdf;
+use bt_instrument::trace::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// How many first/last arrivals the paper's subsets use.
+pub const SUBSET: usize = 100;
+
+/// Interarrival CDFs for one arrival stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterarrivalAnalysis {
+    /// CDF over all interarrival gaps.
+    pub all: Cdf,
+    /// CDF over the gaps among the first [`SUBSET`] arrivals.
+    pub first: Cdf,
+    /// CDF over the gaps among the last [`SUBSET`] arrivals.
+    pub last: Cdf,
+    /// Number of arrivals observed.
+    pub count: usize,
+}
+
+fn cdf_mean(cdf: &Cdf) -> f64 {
+    if cdf.is_empty() {
+        return f64::NAN;
+    }
+    // Mean via fine quantile sampling (the Cdf does not expose raw data).
+    let n = 200;
+    (0..n)
+        .map(|i| cdf.quantile((i as f64 + 0.5) / n as f64))
+        .sum::<f64>()
+        / n as f64
+}
+
+fn interarrivals(times: &[f64]) -> Vec<f64> {
+    times.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+impl InterarrivalAnalysis {
+    /// Build from a sorted list of arrival times (seconds).
+    pub fn from_times(mut times: Vec<f64>) -> InterarrivalAnalysis {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let count = times.len();
+        let all = interarrivals(&times);
+        let first = interarrivals(&times[..times.len().min(SUBSET)]);
+        let last_start = times.len().saturating_sub(SUBSET);
+        let last = interarrivals(&times[last_start..]);
+        InterarrivalAnalysis {
+            all: Cdf::new(all),
+            first: Cdf::new(first),
+            last: Cdf::new(last),
+            count,
+        }
+    }
+
+    /// Piece completion interarrivals of a trace (figure 7).
+    pub fn pieces(trace: &Trace) -> InterarrivalAnalysis {
+        let times: Vec<f64> = trace
+            .iter()
+            .filter_map(|(t, ev)| match ev {
+                TraceEvent::PieceCompleted { .. } => Some(t.as_secs_f64()),
+                _ => None,
+            })
+            .collect();
+        InterarrivalAnalysis::from_times(times)
+    }
+
+    /// Block arrival interarrivals of a trace (figure 8).
+    pub fn blocks(trace: &Trace) -> InterarrivalAnalysis {
+        let times: Vec<f64> = trace
+            .iter()
+            .filter_map(|(t, ev)| match ev {
+                TraceEvent::BlockReceived { .. } => Some(t.as_secs_f64()),
+                _ => None,
+            })
+            .collect();
+        InterarrivalAnalysis::from_times(times)
+    }
+
+    /// The paper's *first pieces problem* indicator: how much slower the
+    /// first arrivals are than the typical arrival (ratio of mean
+    /// interarrival times; means are robust when the overall median gap
+    /// is zero, as happens for block streams). Values well above 1
+    /// reproduce the effect.
+    pub fn first_slowdown(&self) -> f64 {
+        let m_all = cdf_mean(&self.all);
+        let m_first = cdf_mean(&self.first);
+        if m_all > 0.0 {
+            m_first / m_all
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// The *last pieces problem* indicator: well above 1 would mean the
+    /// tail of the download slowed down. In steady state the paper finds
+    /// ≈ 1 (no last pieces problem).
+    pub fn last_slowdown(&self) -> f64 {
+        let m_all = cdf_mean(&self.all);
+        let m_last = cdf_mean(&self.last);
+        if m_all > 0.0 {
+            m_last / m_all
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_instrument::trace::TraceMeta;
+    use bt_wire::message::BlockRef;
+    use bt_wire::time::Instant;
+
+    #[test]
+    fn interarrival_arithmetic() {
+        let a = InterarrivalAnalysis::from_times(vec![0.0, 1.0, 3.0, 6.0]);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.all.len(), 3);
+        assert_eq!(a.all.quantile(0.0), 1.0);
+        assert_eq!(a.all.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn first_problem_detected() {
+        // First 100 arrive 10 s apart, the next 900 arrive 1 s apart.
+        let mut times = Vec::new();
+        let mut t = 0.0;
+        for i in 0..1000 {
+            t += if i < 100 { 10.0 } else { 1.0 };
+            times.push(t);
+        }
+        let a = InterarrivalAnalysis::from_times(times);
+        assert!(a.first_slowdown() > 5.0, "slowdown {}", a.first_slowdown());
+        assert!(a.last_slowdown() <= 1.01, "last {}", a.last_slowdown());
+    }
+
+    #[test]
+    fn from_trace_events() {
+        let meta = TraceMeta {
+            torrent: "i".into(),
+            torrent_id: 10,
+            num_pieces: 3,
+            num_blocks: 6,
+            initial_seeds: 1,
+            initial_leechers: 1,
+            session_end: Instant::from_secs(100),
+            seed_at: None,
+        };
+        let mut tr = Trace::new(meta);
+        for (t, p) in [(5u64, 0u32), (9, 1), (14, 2)] {
+            tr.push(
+                Instant::from_secs(t),
+                TraceEvent::BlockReceived {
+                    peer: 0,
+                    block: BlockRef {
+                        piece: p,
+                        offset: 0,
+                        length: 16384,
+                    },
+                },
+            );
+            tr.push(
+                Instant::from_secs(t),
+                TraceEvent::PieceCompleted { piece: p },
+            );
+        }
+        let pieces = InterarrivalAnalysis::pieces(&tr);
+        assert_eq!(pieces.count, 3);
+        assert_eq!(pieces.all.len(), 2);
+        let blocks = InterarrivalAnalysis::blocks(&tr);
+        assert_eq!(blocks.count, 3);
+    }
+
+    #[test]
+    fn short_streams_behave() {
+        let a = InterarrivalAnalysis::from_times(vec![1.0]);
+        assert!(a.all.is_empty());
+        let a = InterarrivalAnalysis::from_times(vec![]);
+        assert_eq!(a.count, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Boolean interval reconstruction from trace events.
+//!
+//! Several metrics need "how long was X true during window W": interest
+//! relations (figure 1), unchoke durations, membership overlaps. An
+//! [`IntervalBuilder`] folds a stream of timestamped booleans into closed
+//! intervals, and [`overlap_secs`] measures intersection with a window.
+
+use bt_wire::time::Instant;
+
+/// A half-open interval `[start, end)` of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Interval start.
+    pub start: Instant,
+    /// Interval end.
+    pub end: Instant,
+}
+
+impl Interval {
+    /// Length in seconds.
+    pub fn secs(&self) -> f64 {
+        (self.end.saturating_since(self.start)).as_secs_f64()
+    }
+}
+
+/// Builds the intervals during which a boolean signal was `true`.
+#[derive(Debug, Default)]
+pub struct IntervalBuilder {
+    intervals: Vec<Interval>,
+    since: Option<Instant>,
+}
+
+impl IntervalBuilder {
+    /// Start with the signal false.
+    pub fn new() -> IntervalBuilder {
+        IntervalBuilder::default()
+    }
+
+    /// Feed a transition at `t`. Repeated identical states are ignored.
+    pub fn transition(&mut self, t: Instant, state: bool) {
+        match (state, self.since) {
+            (true, None) => self.since = Some(t),
+            (false, Some(start)) => {
+                self.intervals.push(Interval { start, end: t });
+                self.since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Close any open interval at `end` and return all intervals.
+    pub fn finish(mut self, end: Instant) -> Vec<Interval> {
+        if let Some(start) = self.since.take() {
+            if end > start {
+                self.intervals.push(Interval { start, end });
+            }
+        }
+        self.intervals
+    }
+}
+
+/// Total seconds of `intervals` that fall inside `[win_start, win_end)`.
+pub fn overlap_secs(intervals: &[Interval], win_start: Instant, win_end: Instant) -> f64 {
+    intervals
+        .iter()
+        .map(|iv| {
+            let s = iv.start.max(win_start);
+            let e = iv.end.min(win_end);
+            if e > s {
+                (e - s).as_secs_f64()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Seconds the window `[a_start, a_end)` overlaps `[b_start, b_end)`.
+pub fn window_overlap_secs(
+    a_start: Instant,
+    a_end: Instant,
+    b_start: Instant,
+    b_end: Instant,
+) -> f64 {
+    let s = a_start.max(b_start);
+    let e = a_end.min(b_end);
+    if e > s {
+        (e - s).as_secs_f64()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Instant {
+        Instant::from_secs(s)
+    }
+
+    #[test]
+    fn builds_intervals() {
+        let mut b = IntervalBuilder::new();
+        b.transition(t(1), true);
+        b.transition(t(3), false);
+        b.transition(t(5), true);
+        let ivs = b.finish(t(10));
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].secs(), 2.0);
+        assert_eq!(ivs[1].secs(), 5.0);
+    }
+
+    #[test]
+    fn ignores_duplicate_transitions() {
+        let mut b = IntervalBuilder::new();
+        b.transition(t(0), false);
+        b.transition(t(1), true);
+        b.transition(t(2), true);
+        b.transition(t(4), false);
+        b.transition(t(5), false);
+        let ivs = b.finish(t(10));
+        assert_eq!(
+            ivs,
+            vec![Interval {
+                start: t(1),
+                end: t(4)
+            }]
+        );
+    }
+
+    #[test]
+    fn overlap_computation() {
+        let ivs = vec![
+            Interval {
+                start: t(0),
+                end: t(10),
+            },
+            Interval {
+                start: t(20),
+                end: t(30),
+            },
+        ];
+        assert_eq!(overlap_secs(&ivs, t(5), t(25)), 10.0);
+        assert_eq!(overlap_secs(&ivs, t(100), t(200)), 0.0);
+        assert_eq!(overlap_secs(&ivs, t(0), t(30)), 20.0);
+    }
+
+    #[test]
+    fn window_overlap() {
+        assert_eq!(window_overlap_secs(t(0), t(10), t(5), t(20)), 5.0);
+        assert_eq!(window_overlap_secs(t(0), t(10), t(10), t(20)), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # bt-analysis — the paper's analysis pipeline
+//!
+//! Turns instrumented-peer traces (`bt-instrument`) into the metrics of
+//! every figure in the paper:
+//!
+//! | Module | Figures |
+//! |---|---|
+//! | [`entropy`] | 1 (interest-ratio percentiles) |
+//! | [`replication`] | 2–6 (copies, rarest set, peer set over time) |
+//! | [`interarrival`] | 7, 8 (piece/block interarrival CDFs) |
+//! | [`fairness`] | 9, 11 (upload/download contribution by peer sets) |
+//! | [`unchoke`] | 10 (unchokes vs. interested time) |
+//! | [`transient`] | §IV-A.2's transient-duration and seed-rate claims |
+//!
+//! [`stats`] and [`intervals`] provide the underlying CDF/percentile and
+//! boolean-interval machinery.
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod clients;
+pub mod entropy;
+pub mod equilibrium;
+pub mod fairness;
+pub mod interarrival;
+pub mod intervals;
+pub mod messages;
+pub mod replication;
+pub mod stats;
+pub mod summary;
+pub mod transient;
+pub mod unchoke;
+
+pub use capacity::CapacityCurve;
+pub use clients::{client_breakdown, ClientAggregate, ClientBreakdown};
+pub use entropy::{entropy, EntropySummary, PeerRatios, MIN_MEMBERSHIP_SECS};
+pub use equilibrium::{equilibrium, EquilibriumSummary};
+pub use fairness::{fairness, FairnessSummary, StateWindow, NUM_SETS, SET_SIZE};
+pub use interarrival::{InterarrivalAnalysis, SUBSET};
+pub use messages::{KindCount, MessageStats};
+pub use replication::{ReplicationPoint, ReplicationSeries};
+pub use stats::{mean, percentiles, Cdf, Percentiles};
+pub use summary::SessionSummary;
+pub use transient::TransientSummary;
+pub use unchoke::{pearson, unchoke_correlation, UnchokeCorrelation, UnchokePoint};

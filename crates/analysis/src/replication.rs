@@ -1,0 +1,228 @@
+//! Piece replication over time (figures 2–6).
+//!
+//! Figures 2 and 4 plot the number of copies of the least/mean/most
+//! replicated piece in the local peer set over time; figures 3 and 6 the
+//! size of the rarest-pieces set; figure 5 the peer-set size. All five
+//! series come straight from the `AvailabilitySample` events the
+//! instrumented engine records.
+
+use bt_instrument::trace::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// One availability sample, timestamped in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationPoint {
+    /// Seconds since session start.
+    pub t_secs: f64,
+    /// Copies of the least replicated piece (dashed line in fig. 2/4).
+    pub min: u32,
+    /// Mean copies over all pieces (solid line).
+    pub mean: f64,
+    /// Copies of the most replicated piece (dotted line).
+    pub max: u32,
+    /// Rarest-pieces-set size (figures 3 and 6).
+    pub rarest_set_size: u32,
+    /// Peer set size (figure 5).
+    pub peer_set_size: u32,
+}
+
+/// The replication time series of a trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReplicationSeries {
+    /// Samples in time order.
+    pub points: Vec<ReplicationPoint>,
+}
+
+impl ReplicationSeries {
+    /// Extract the series from a trace.
+    pub fn from_trace(trace: &Trace) -> ReplicationSeries {
+        let points = trace
+            .iter()
+            .filter_map(|(t, ev)| match ev {
+                TraceEvent::AvailabilitySample {
+                    min,
+                    mean,
+                    max,
+                    rarest_set_size,
+                    peer_set_size,
+                } => Some(ReplicationPoint {
+                    t_secs: t.as_secs_f64(),
+                    min: *min,
+                    mean: *mean,
+                    max: *max,
+                    rarest_set_size: *rarest_set_size,
+                    peer_set_size: *peer_set_size,
+                }),
+                _ => None,
+            })
+            .collect();
+        ReplicationSeries { points }
+    }
+
+    /// Restrict to the local peer's leecher state (figures 2/3 are "LS").
+    pub fn leecher_state(&self, trace: &Trace) -> ReplicationSeries {
+        let end = trace
+            .meta
+            .seed_at
+            .unwrap_or(trace.meta.session_end)
+            .as_secs_f64();
+        ReplicationSeries {
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|p| p.t_secs <= end)
+                .collect(),
+        }
+    }
+
+    /// Fraction of samples with a missing piece (min = 0): the local
+    /// signature of a torrent in transient state (§IV-A.2). Samples with
+    /// an empty peer set are vacuous (no peers ⇒ no copies) and skipped.
+    pub fn missing_piece_fraction(&self) -> f64 {
+        let informative: Vec<&ReplicationPoint> =
+            self.points.iter().filter(|p| p.peer_set_size > 0).collect();
+        if informative.is_empty() {
+            return 0.0;
+        }
+        let zero = informative.iter().filter(|p| p.min == 0).count();
+        zero as f64 / informative.len() as f64
+    }
+
+    /// Classify the torrent as transient (some piece absent from the peer
+    /// set most of the time) or steady state per §IV-A.2.
+    pub fn is_transient(&self) -> bool {
+        self.missing_piece_fraction() > 0.5
+    }
+
+    /// Least-squares slope of the rarest-set size over time, in
+    /// pieces/second. Figure 3's key observation is a *linear decrease*
+    /// (constant-rate drain by the initial seed); the harness compares
+    /// this slope with the seed-capacity prediction.
+    pub fn rarest_set_slope(&self) -> f64 {
+        let n = self.points.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.points.iter().map(|p| p.t_secs).collect();
+        let ys: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| f64::from(p.rarest_set_size))
+            .collect();
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        if var == 0.0 {
+            0.0
+        } else {
+            cov / var
+        }
+    }
+
+    /// Mean peer-set size over the series (figure 5 summary).
+    pub fn mean_peer_set(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .map(|p| f64::from(p.peer_set_size))
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_instrument::trace::TraceMeta;
+    use bt_wire::time::Instant;
+
+    fn trace_with_samples(
+        samples: &[(u64, u32, f64, u32, u32, u32)],
+        seed_at: Option<u64>,
+    ) -> Trace {
+        let meta = TraceMeta {
+            torrent: "r".into(),
+            torrent_id: 8,
+            num_pieces: 100,
+            num_blocks: 1600,
+            initial_seeds: 1,
+            initial_leechers: 861,
+            session_end: Instant::from_secs(10_000),
+            seed_at: seed_at.map(Instant::from_secs),
+        };
+        let mut tr = Trace::new(meta);
+        for &(t, min, mean, max, rarest, ps) in samples {
+            tr.push(
+                Instant::from_secs(t),
+                TraceEvent::AvailabilitySample {
+                    min,
+                    mean,
+                    max,
+                    rarest_set_size: rarest,
+                    peer_set_size: ps,
+                },
+            );
+        }
+        tr
+    }
+
+    #[test]
+    fn extracts_points() {
+        let tr = trace_with_samples(&[(10, 0, 5.0, 80, 300, 80), (20, 1, 6.0, 80, 10, 79)], None);
+        let s = ReplicationSeries::from_trace(&tr);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].rarest_set_size, 300);
+        assert_eq!(s.points[1].min, 1);
+    }
+
+    #[test]
+    fn transient_classification() {
+        // min stays 0 → transient (torrent 8's signature).
+        let tr = trace_with_samples(&[(10, 0, 1.0, 5, 300, 40), (20, 0, 2.0, 9, 250, 40)], None);
+        let s = ReplicationSeries::from_trace(&tr);
+        assert!(s.is_transient());
+        assert_eq!(s.missing_piece_fraction(), 1.0);
+        // min ≥ 1 → steady (torrent 7's signature).
+        let tr = trace_with_samples(&[(10, 1, 10.0, 80, 5, 80), (20, 2, 11.0, 80, 3, 80)], None);
+        assert!(!ReplicationSeries::from_trace(&tr).is_transient());
+    }
+
+    #[test]
+    fn rarest_slope_is_linear_drain() {
+        // 300 rarest pieces draining at 1 piece per 10 s.
+        let samples: Vec<(u64, u32, f64, u32, u32, u32)> = (0..100)
+            .map(|i| (i * 10, 0, 1.0, 5, (300 - i) as u32, 40))
+            .collect();
+        let s = ReplicationSeries::from_trace(&trace_with_samples(&samples, None));
+        assert!(
+            (s.rarest_set_slope() + 0.1).abs() < 1e-9,
+            "slope {}",
+            s.rarest_set_slope()
+        );
+    }
+
+    #[test]
+    fn leecher_state_cuts_at_seed_time() {
+        let tr = trace_with_samples(
+            &[
+                (10, 1, 1.0, 2, 1, 10),
+                (100, 1, 1.0, 2, 1, 10),
+                (500, 1, 1.0, 2, 1, 10),
+            ],
+            Some(200),
+        );
+        let s = ReplicationSeries::from_trace(&tr);
+        assert_eq!(s.leecher_state(&tr).points.len(), 2);
+    }
+
+    #[test]
+    fn mean_peer_set() {
+        let tr = trace_with_samples(&[(1, 0, 0.0, 0, 0, 60), (2, 0, 0.0, 0, 0, 80)], None);
+        let s = ReplicationSeries::from_trace(&tr);
+        assert!((s.mean_peer_set() - 70.0).abs() < 1e-12);
+    }
+}

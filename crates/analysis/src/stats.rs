@@ -1,0 +1,177 @@
+//! Basic statistics: empirical CDFs and percentiles.
+//!
+//! The paper reports 20th/median/80th percentiles (figure 1) and CDFs of
+//! interarrival times (figures 7 and 8); these helpers compute both.
+
+use serde::{Deserialize, Serialize};
+
+/// Percentile summary used by figure 1's vertical bars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// 20th percentile (bottom of the bar).
+    pub p20: f64,
+    /// Median (the circle).
+    pub p50: f64,
+    /// 80th percentile (top of the bar).
+    pub p80: f64,
+}
+
+/// Linear-interpolation percentile of `sorted` (must be ascending).
+/// `q` in [0, 1]. Returns `NaN` on empty input.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Compute figure-1 style percentiles of `values` (unsorted input).
+pub fn percentiles(values: &[f64]) -> Percentiles {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Percentiles {
+        p20: percentile_sorted(&v, 0.20),
+        p50: percentile_sorted(&v, 0.50),
+        p80: percentile_sorted(&v, 0.80),
+    }
+}
+
+/// An empirical CDF over a sample.
+///
+/// ```
+/// use bt_analysis::Cdf;
+/// let cdf = Cdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.at(2.0), 0.75);   // P(X ≤ 2)
+/// assert_eq!(cdf.quantile(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from a sample (need not be sorted; non-finite values dropped).
+    pub fn new(mut values: Vec<f64>) -> Cdf {
+        values.retain(|x| x.is_finite());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: values }
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile), `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q)
+    }
+
+    /// `n` evenly spaced (value, probability) points for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1).max(1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Median convenience accessor.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Mean of a slice; `NaN` when empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = percentiles(&v);
+        assert!((p.p20 - 20.8).abs() < 1e-9);
+        assert!((p.p50 - 50.5).abs() < 1e-9);
+        assert!((p.p80 - 80.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert!(percentile_sorted(&[], 0.5).is_nan());
+        assert_eq!(percentile_sorted(&[3.0], 0.99), 3.0);
+        assert_eq!(percentile_sorted(&[1.0, 2.0], 0.0), 1.0);
+        assert_eq!(percentile_sorted(&[1.0, 2.0], 1.0), 2.0);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(2.0), 0.75);
+        assert_eq!(cdf.at(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn cdf_filters_non_finite() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let cdf = Cdf::new((0..50).map(f64::from).collect());
+        let pts = cdf.points(11);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn mean_works() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,257 @@
+//! Unchoke/interest correlation (figure 10).
+//!
+//! §IV-B.2/3: for each remote peer, a dot plots the number of times the
+//! local peer unchoked it against the time it was interested in the local
+//! peer — separately for the local peer's leecher state (top graph: no
+//! correlation, a few peers unchoked very often) and seed state (bottom
+//! graph: strong linear correlation, the signature of the new seed-state
+//! algorithm's equal service time).
+
+use crate::intervals::{overlap_secs, IntervalBuilder};
+use bt_instrument::identify::PeerRegistry;
+use bt_instrument::trace::{Trace, TraceEvent};
+use bt_wire::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One scatter point of figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnchokePoint {
+    /// Trace connection handle.
+    pub handle: u32,
+    /// Seconds the remote was interested in the local peer (x axis).
+    pub interested_secs: f64,
+    /// Times the local peer unchoked it (y axis).
+    pub unchokes: u32,
+}
+
+/// Figure 10's two scatter plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnchokeCorrelation {
+    /// Leecher-state points (top graph).
+    pub leecher: Vec<UnchokePoint>,
+    /// Seed-state points (bottom graph).
+    pub seed: Vec<UnchokePoint>,
+}
+
+/// Pearson correlation coefficient of (interested_secs, unchokes).
+/// Returns `NaN` for degenerate inputs.
+pub fn pearson(points: &[UnchokePoint]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.interested_secs).collect();
+    let ys: Vec<f64> = points.iter().map(|p| f64::from(p.unchokes)).collect();
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Compute figure 10 from a trace.
+pub fn unchoke_correlation(trace: &Trace) -> UnchokeCorrelation {
+    let seed_at = trace.meta.seed_at.unwrap_or(trace.meta.session_end);
+    let end = trace.meta.session_end;
+
+    // Remote-interest intervals per handle.
+    let mut builders: HashMap<u32, IntervalBuilder> = HashMap::new();
+    // Unchoke counts per handle per state.
+    let mut unchokes_ls: HashMap<u32, u32> = HashMap::new();
+    let mut unchokes_ss: HashMap<u32, u32> = HashMap::new();
+    for (t, ev) in trace.iter() {
+        match ev {
+            TraceEvent::RemoteInterest { peer, interested } => {
+                builders
+                    .entry(*peer)
+                    .or_default()
+                    .transition(t, *interested);
+            }
+            TraceEvent::LocalChoke {
+                peer,
+                choked: false,
+                ..
+            } => {
+                if t < seed_at {
+                    *unchokes_ls.entry(*peer).or_insert(0) += 1;
+                } else {
+                    *unchokes_ss.entry(*peer).or_insert(0) += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Interest can only exist while the peer is in the peer set; a peer
+    // that departs while interested emits no explicit not-interested
+    // transition, so clamp every interval to the membership window.
+    let registry = PeerRegistry::from_trace(trace);
+    let intervals: HashMap<u32, Vec<crate::intervals::Interval>> = builders
+        .into_iter()
+        .map(|(h, b)| {
+            let mut ivs = b.finish(end);
+            if let Some(m) = registry.membership(h) {
+                ivs.retain_mut(|iv| {
+                    iv.start = iv.start.max(m.joined);
+                    iv.end = iv.end.min(m.left);
+                    iv.end > iv.start
+                });
+            }
+            (h, ivs)
+        })
+        .collect();
+
+    let mut handles: Vec<u32> = intervals
+        .keys()
+        .copied()
+        .chain(unchokes_ls.keys().copied())
+        .chain(unchokes_ss.keys().copied())
+        .collect();
+    handles.sort_unstable();
+    handles.dedup();
+
+    let mut leecher = Vec::new();
+    let mut seed = Vec::new();
+    for h in handles {
+        let ivs = intervals.get(&h).map(Vec::as_slice).unwrap_or(&[]);
+        let ls_secs = overlap_secs(ivs, Instant::ZERO, seed_at);
+        let ss_secs = overlap_secs(ivs, seed_at, end);
+        let ls_count = unchokes_ls.get(&h).copied().unwrap_or(0);
+        let ss_count = unchokes_ss.get(&h).copied().unwrap_or(0);
+        if ls_secs > 0.0 || ls_count > 0 {
+            leecher.push(UnchokePoint {
+                handle: h,
+                interested_secs: ls_secs,
+                unchokes: ls_count,
+            });
+        }
+        if ss_secs > 0.0 || ss_count > 0 {
+            seed.push(UnchokePoint {
+                handle: h,
+                interested_secs: ss_secs,
+                unchokes: ss_count,
+            });
+        }
+    }
+    UnchokeCorrelation { leecher, seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_instrument::trace::{TraceMeta, UnchokeRole};
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            torrent: "u".into(),
+            torrent_id: 7,
+            num_pieces: 10,
+            num_blocks: 160,
+            initial_seeds: 1,
+            initial_leechers: 5,
+            session_end: Instant::from_secs(1000),
+            seed_at: Some(Instant::from_secs(400)),
+        }
+    }
+
+    #[test]
+    fn splits_states_at_seed_transition() {
+        let mut tr = Trace::new(meta());
+        tr.push(
+            Instant::from_secs(0),
+            TraceEvent::RemoteInterest {
+                peer: 1,
+                interested: true,
+            },
+        );
+        tr.push(
+            Instant::from_secs(100),
+            TraceEvent::LocalChoke {
+                peer: 1,
+                choked: false,
+                role: Some(UnchokeRole::Regular),
+            },
+        );
+        tr.push(
+            Instant::from_secs(500),
+            TraceEvent::LocalChoke {
+                peer: 1,
+                choked: false,
+                role: Some(UnchokeRole::SeedKept),
+            },
+        );
+        tr.push(
+            Instant::from_secs(600),
+            TraceEvent::LocalChoke {
+                peer: 1,
+                choked: false,
+                role: Some(UnchokeRole::SeedRandom),
+            },
+        );
+        let c = unchoke_correlation(&tr);
+        assert_eq!(c.leecher.len(), 1);
+        assert_eq!(c.leecher[0].unchokes, 1);
+        assert_eq!(c.leecher[0].interested_secs, 400.0);
+        assert_eq!(c.seed[0].unchokes, 2);
+        assert_eq!(c.seed[0].interested_secs, 600.0);
+    }
+
+    #[test]
+    fn pearson_detects_linear_relation() {
+        let perfect: Vec<UnchokePoint> = (1..20)
+            .map(|i| UnchokePoint {
+                handle: i,
+                interested_secs: f64::from(i),
+                unchokes: i * 2,
+            })
+            .collect();
+        assert!((pearson(&perfect) - 1.0).abs() < 1e-9);
+        let anti: Vec<UnchokePoint> = (1..20)
+            .map(|i| UnchokePoint {
+                handle: i,
+                interested_secs: f64::from(i),
+                unchokes: 40 - i,
+            })
+            .collect();
+        assert!((pearson(&anti) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert!(pearson(&[]).is_nan());
+        let flat: Vec<UnchokePoint> = (0..10)
+            .map(|i| UnchokePoint {
+                handle: i,
+                interested_secs: f64::from(i),
+                unchokes: 3,
+            })
+            .collect();
+        assert!(pearson(&flat).is_nan());
+    }
+
+    #[test]
+    fn never_interested_never_unchoked_excluded() {
+        let mut tr = Trace::new(meta());
+        tr.push(
+            Instant::from_secs(0),
+            TraceEvent::RemoteInterest {
+                peer: 9,
+                interested: true,
+            },
+        );
+        tr.push(
+            Instant::from_secs(1),
+            TraceEvent::RemoteInterest {
+                peer: 9,
+                interested: false,
+            },
+        );
+        let c = unchoke_correlation(&tr);
+        assert_eq!(c.leecher.len(), 1);
+        assert!(c.seed.is_empty());
+    }
+}

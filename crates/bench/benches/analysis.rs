@@ -1,0 +1,43 @@
+//! Analysis-pipeline benchmarks: the cost of turning a full scenario
+//! trace into each figure's metrics.
+
+use bt_analysis::{
+    entropy, fairness, unchoke_correlation, InterarrivalAnalysis, ReplicationSeries, StateWindow,
+};
+use bt_instrument::trace::Trace;
+use bt_torrents::{run_scenario, torrent, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn trace() -> Trace {
+    let cfg = RunConfig::quick();
+    run_scenario(&torrent(3), &cfg).trace
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let tr = trace();
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("entropy", |b| b.iter(|| black_box(entropy(&tr))));
+    group.bench_function("replication", |b| {
+        b.iter(|| black_box(ReplicationSeries::from_trace(&tr)))
+    });
+    group.bench_function("interarrival_blocks", |b| {
+        b.iter(|| black_box(InterarrivalAnalysis::blocks(&tr)))
+    });
+    group.bench_function("fairness_ls", |b| {
+        b.iter(|| black_box(fairness(&tr, StateWindow::Leecher)))
+    });
+    group.bench_function("unchoke_correlation", |b| {
+        b.iter(|| black_box(unchoke_correlation(&tr)))
+    });
+    group.bench_function("jsonl_roundtrip", |b| {
+        b.iter(|| {
+            let text = tr.to_jsonl();
+            black_box(Trace::from_jsonl(&text).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

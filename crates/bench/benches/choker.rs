@@ -1,0 +1,69 @@
+//! Choke-algorithm benchmarks: one rechoke round over an 80-peer set for
+//! each strategy, plus the rate estimator's hot path.
+
+use bt_choke::{ChokerKind, PeerSnapshot, RateEstimator};
+use bt_wire::time::{Duration, Instant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn snapshots(n: u32) -> Vec<PeerSnapshot> {
+    let mut rng = SmallRng::seed_from_u64(3);
+    (0..n)
+        .map(|key| PeerSnapshot {
+            key,
+            interested: rng.random_bool(0.8),
+            unchoked: rng.random_bool(0.1),
+            download_rate: rng.random_range(0.0..100_000.0),
+            upload_rate: rng.random_range(0.0..100_000.0),
+            last_unchoked: if rng.random_bool(0.3) {
+                Some(Instant::from_secs(rng.random_range(0..1000)))
+            } else {
+                None
+            },
+            uploaded_to: rng.random_range(0..10_000_000),
+            downloaded_from: rng.random_range(0..10_000_000),
+            snubbed: rng.random_bool(0.1),
+        })
+        .collect()
+}
+
+fn bench_rechoke(c: &mut Criterion) {
+    let peers = snapshots(80);
+    let mut group = c.benchmark_group("rechoke_80_peers");
+    for (name, build) in [
+        ("leecher", ChokerKind::Standard.build_leecher()),
+        ("seed_new", ChokerKind::Standard.build_seed()),
+        ("seed_old", ChokerKind::OldSeed.build_seed()),
+        ("tit_for_tat", ChokerKind::TitForTat.build_leecher()),
+    ] {
+        let mut choker = build;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut t = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                t += 10;
+                black_box(choker.rechoke(Instant::from_secs(t), &peers, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rate_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rate_estimator");
+    group.bench_function("record_and_rate", |b| {
+        let mut est = RateEstimator::new(Duration::from_secs(20));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            est.record(Instant::from_secs(t), 16384);
+            black_box(est.rate(Instant::from_secs(t)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rechoke, bench_rate_estimator);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the wire formats: peer message codec, bencoding,
+//! SHA-1, and bitfield encoding.
+
+use bt_piece::Bitfield;
+use bt_wire::bencode;
+use bt_wire::message::{BlockRef, Decoder, Message};
+use bt_wire::metainfo::SyntheticContent;
+use bt_wire::sha1::sha1;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_message_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let piece_msg = Message::Piece {
+        block: BlockRef {
+            piece: 3,
+            offset: 16384,
+            length: 16384,
+        },
+        data: Bytes::from(vec![0xA5u8; 16384]),
+    };
+    let encoded = piece_msg.encode_to_vec();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_piece_16k", |b| {
+        b.iter(|| black_box(piece_msg.encode_to_vec()))
+    });
+    group.bench_function("decode_piece_16k", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::default();
+            dec.feed(&encoded);
+            black_box(dec.next_message().unwrap())
+        })
+    });
+    let small = Message::Request(BlockRef {
+        piece: 9,
+        offset: 0,
+        length: 16384,
+    });
+    group.bench_function("encode_request", |b| {
+        b.iter(|| black_box(small.encode_to_vec()))
+    });
+    group.finish();
+}
+
+fn bench_bencode(c: &mut Criterion) {
+    let content = SyntheticContent::generate("bench", 1, 64 * 256 * 1024, 256 * 1024);
+    let torrent_file = content.metainfo.encode();
+    let mut group = c.benchmark_group("bencode");
+    group.throughput(Throughput::Bytes(torrent_file.len() as u64));
+    group.bench_function("decode_metainfo", |b| {
+        b.iter(|| black_box(bencode::decode(&torrent_file).unwrap()))
+    });
+    group.bench_function("parse_metainfo", |b| {
+        b.iter(|| black_box(bt_wire::Metainfo::parse(&torrent_file).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let block = vec![0x5Au8; 16384];
+    let piece = vec![0x5Au8; 256 * 1024];
+    let mut group = c.benchmark_group("sha1");
+    group.throughput(Throughput::Bytes(block.len() as u64));
+    group.bench_function("block_16k", |b| b.iter(|| black_box(sha1(&block))));
+    group.throughput(Throughput::Bytes(piece.len() as u64));
+    group.bench_function("piece_256k", |b| b.iter(|| black_box(sha1(&piece))));
+    group.finish();
+}
+
+fn bench_bitfield(c: &mut Criterion) {
+    let mut bf = Bitfield::new(2800); // torrent-7-sized piece map
+    for i in (0..2800).step_by(3) {
+        bf.set(i);
+    }
+    let wire = bf.to_wire();
+    let mut group = c.benchmark_group("bitfield");
+    group.bench_function("to_wire_2800", |b| b.iter(|| black_box(bf.to_wire())));
+    group.bench_function("from_wire_2800", |b| {
+        b.iter(|| black_box(Bitfield::from_wire(&wire, 2800)))
+    });
+    let other = Bitfield::full(2800);
+    group.bench_function("interest_check", |b| {
+        b.iter(|| black_box(bf.is_interested_in(&other)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_message_codec,
+    bench_bencode,
+    bench_sha1,
+    bench_bitfield
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Piece-picker benchmarks: rarest first and baselines over realistic
+//! peer-set sizes and piece counts, plus the availability bookkeeping.
+
+use bt_piece::{Availability, Bitfield, PickContext, PickerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Build a peer-set availability for `pieces` pieces and 80 peers with
+/// random 50% bitfields, plus the local/remote bitfields.
+fn setup(pieces: u32) -> (Bitfield, Bitfield, Availability) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut availability = Availability::new(pieces);
+    for _ in 0..80 {
+        let mut bf = Bitfield::new(pieces);
+        for p in 0..pieces {
+            if rng.random_bool(0.5) {
+                bf.set(p);
+            }
+        }
+        availability.add_peer(&bf);
+    }
+    let mut own = Bitfield::new(pieces);
+    for p in 0..pieces / 4 {
+        own.set(p * 2);
+    }
+    let remote = Bitfield::full(pieces);
+    (own, remote, availability)
+}
+
+fn bench_pickers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("picker");
+    for pieces in [256u32, 1400, 2800] {
+        let (own, remote, availability) = setup(pieces);
+        for kind in [
+            PickerKind::RarestFirst,
+            PickerKind::Random,
+            PickerKind::Sequential,
+        ] {
+            let mut picker = kind.build(pieces);
+            let mut rng = SmallRng::seed_from_u64(11);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), pieces),
+                &pieces,
+                |b, _| {
+                    b.iter(|| {
+                        let never = |_p: u32| false;
+                        let ctx = PickContext {
+                            own: &own,
+                            remote: &remote,
+                            availability: &availability,
+                            in_progress: &never,
+                            downloaded_pieces: 100,
+                        };
+                        black_box(picker.pick(&ctx, &mut rng))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_availability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("availability");
+    let (_, _, availability) = setup(1400);
+    group.bench_function("rarest_set_1400", |b| {
+        b.iter(|| black_box(availability.rarest_set_size()))
+    });
+    group.bench_function("stats_1400", |b| b.iter(|| black_box(availability.stats())));
+    let bf = Bitfield::full(1400);
+    group.bench_function("add_remove_peer_1400", |b| {
+        b.iter(|| {
+            let mut av = availability.clone();
+            av.add_peer(&bf);
+            av.remove_peer(&bf);
+            black_box(av.min_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    use bt_piece::{Geometry, RequestScheduler};
+    let mut group = c.benchmark_group("scheduler");
+    for pieces in [256u32, 1400] {
+        let geometry = Geometry::new(u64::from(pieces) * 256 * 1024, 256 * 1024);
+        let (own, remote, availability) = setup(pieces);
+        group.bench_with_input(
+            BenchmarkId::new("next_requests_pipeline8", pieces),
+            &pieces,
+            |b, _| {
+                let mut sched: RequestScheduler<u32> = RequestScheduler::new(geometry);
+                let mut picker = bt_piece::RarestFirst::default();
+                let mut rng = SmallRng::seed_from_u64(5);
+                let mut peer = 0u32;
+                b.iter(|| {
+                    peer = peer.wrapping_add(1) % 64;
+                    let never = |_p: u32| false;
+                    let ctx = bt_piece::PickContext {
+                        own: &own,
+                        remote: &remote,
+                        availability: &availability,
+                        in_progress: &never,
+                        downloaded_pieces: 100,
+                    };
+                    let reqs = sched.next_requests(peer, &ctx, &mut picker, &mut rng, 8);
+                    // Deliver everything so the scheduler never saturates.
+                    for r in &reqs {
+                        let receipt = sched.on_block_received(peer, *r);
+                        if let Some(p) = receipt.completed_piece {
+                            sched.on_piece_verified(p);
+                        }
+                    }
+                    black_box(reqs.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pickers, bench_availability, bench_scheduler);
+criterion_main!(benches);

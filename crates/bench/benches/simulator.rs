@@ -1,0 +1,63 @@
+//! Whole-system benchmarks: event-queue throughput and complete swarm
+//! runs at several scales (the cost of one Table I scenario).
+
+use bt_sim::events::EventQueue;
+use bt_sim::{BehaviorProfile, Swarm, SwarmSpec};
+use bt_wire::time::{Duration, Instant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(Instant(i * 7919 % 1_000_000 + 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn swarm_spec(leechers: usize) -> SwarmSpec {
+    let mut peers = vec![BehaviorProfile::seed()];
+    for i in 0..leechers {
+        peers.push(BehaviorProfile::leecher(Duration::from_secs(i as u64 % 30)));
+    }
+    SwarmSpec {
+        seed: 17,
+        total_len: 16 * 256 * 1024,
+        piece_len: 256 * 1024,
+        duration: Duration::from_secs(2400),
+        peers,
+        local: Some(1),
+        ..SwarmSpec::default()
+    }
+}
+
+fn bench_swarm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm_run");
+    group.sample_size(10);
+    for leechers in [10usize, 30, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("leechers", leechers),
+            &leechers,
+            |b, &n| {
+                b.iter(|| {
+                    let result = Swarm::new(swarm_spec(n)).run();
+                    black_box(result.completed_peers)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_swarm);
+criterion_main!(benches);

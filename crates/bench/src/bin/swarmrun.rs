@@ -1,0 +1,136 @@
+//! `swarmrun` — run a swarm scenario from a JSON spec file.
+//!
+//! ```text
+//! swarmrun <spec.json> [--trace out.jsonl] [--example]
+//! ```
+//!
+//! * `--example` prints a complete, runnable spec to stdout and exits;
+//! * `--trace FILE` writes the instrumented peer's trace as JSON lines;
+//! * otherwise the run's summary (completions, tracker stats, headline
+//!   analysis metrics) is printed.
+//!
+//! The spec format is `bt_sim::SwarmSpec` serialised as JSON; identical
+//! specs replay bit-for-bit.
+
+use bt_analysis::SessionSummary;
+use bt_sim::{BehaviorProfile, Swarm, SwarmSpec};
+use bt_wire::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--example") {
+        print_example();
+        return;
+    }
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: swarmrun <spec.json> [--trace out.jsonl] [--example]");
+        std::process::exit(2);
+    };
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("swarmrun: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let spec: SwarmSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("swarmrun: invalid spec: {e}");
+        std::process::exit(2);
+    });
+    let peers = spec.peers.len();
+    let piece_len = spec.piece_len;
+    let pieces = spec.total_len.div_ceil(u64::from(spec.piece_len));
+    eprintln!(
+        "running {peers} peers, {pieces} pieces, {} s session (seed {}) ...",
+        spec.duration.0 / 1_000_000,
+        spec.seed
+    );
+    let local = spec.local;
+    let result = Swarm::new(spec).run();
+
+    println!("events processed : {}", result.events_processed);
+    println!("peers completed  : {} / {peers}", result.completed_peers);
+    println!(
+        "tracker          : {} started, {} completed announces",
+        result.tracker_started, result.tracker_completed
+    );
+    if let Some(idx) = local {
+        if let Some(t) = result.completion.get(idx).copied().flatten() {
+            println!(
+                "local peer {idx}    : completed at {:.0} s",
+                t.as_secs_f64()
+            );
+        } else {
+            println!("local peer {idx}    : did not complete");
+        }
+    }
+    if let Some(trace) = result.trace {
+        let summary = SessionSummary::from_trace(&trace, piece_len);
+        println!("trace events     : {}", trace.len());
+        println!(
+            "entropy a/b      : p20={:.2} p50={:.2} p80={:.2} over {} leechers",
+            summary.entropy.local_in_remote.p20,
+            summary.entropy.local_in_remote.p50,
+            summary.entropy.local_in_remote.p80,
+            summary.entropy.peers.len()
+        );
+        println!(
+            "state            : {} (missing-piece fraction {:.2})",
+            if summary.replication.is_transient() {
+                "transient"
+            } else {
+                "steady"
+            },
+            summary.replication.missing_piece_fraction()
+        );
+        println!(
+            "blocks received  : {} (first-slowdown ×{:.2})",
+            summary.blocks.count,
+            summary.blocks.first_slowdown()
+        );
+        println!(
+            "LS top-set share : {:.2}",
+            summary.fairness_ls.top_set_upload_share()
+        );
+        println!(
+            "peers observed   : {} connections, {} unique, {:.1} % multi-ID IPs",
+            summary.connections,
+            summary.unique_peers,
+            summary.multi_id_ip_fraction * 100.0
+        );
+        println!(
+            "overhead         : {:.4} control B / data B",
+            summary.messages.overhead_ratio()
+        );
+        if let Some(path) = trace_out {
+            std::fs::write(&path, trace.to_jsonl()).unwrap_or_else(|e| {
+                eprintln!("swarmrun: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("trace written    : {path}");
+        }
+    }
+}
+
+fn print_example() {
+    let mut peers = vec![BehaviorProfile::seed()];
+    for i in 0..8 {
+        peers.push(BehaviorProfile::leecher(Duration::from_secs(i)));
+    }
+    let spec = SwarmSpec {
+        seed: 42,
+        total_len: 16 * 256 * 1024,
+        piece_len: 256 * 1024,
+        duration: Duration::from_secs(3600),
+        peers,
+        local: Some(1),
+        ..SwarmSpec::default()
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&spec).expect("spec serialises")
+    );
+}

@@ -1,0 +1,68 @@
+//! `tracestat` — inspect one scenario's trace: per-peer entropy ratios
+//! cross-tabulated with arrival progress, membership, and byte tallies.
+//! A development/debugging companion to `figures`.
+
+use bt_analysis::{entropy, fairness, StateWindow};
+use bt_bench::report::table;
+use bt_instrument::identify::PeerRegistry;
+use bt_torrents::{run_scenario, torrent, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let mut cfg = RunConfig::default();
+    if args.iter().any(|a| a == "--quick") {
+        cfg = RunConfig::quick();
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if let Some(s) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            cfg.seed = s;
+        }
+    }
+    let outcome = run_scenario(&torrent(id), &cfg);
+    let trace = &outcome.trace;
+    eprintln!(
+        "torrent {id}: scaled {}s/{}l, {} pieces, {} events, local seed_at={:?}",
+        outcome.scaled.seeds,
+        outcome.scaled.leechers,
+        outcome.scaled.pieces,
+        trace.len(),
+        trace.meta.seed_at.map(|t| t.as_secs())
+    );
+    let reg = PeerRegistry::from_trace(trace);
+    let ent = entropy(trace);
+    let fair = fairness(trace, StateWindow::Leecher);
+
+    let mut rows = Vec::new();
+    for p in &ent.peers {
+        let m = reg.membership(p.handle).expect("member");
+        let bytes = fair.ranked.iter().find(|b| b.handle == p.handle);
+        rows.push(vec![
+            p.handle.to_string(),
+            format!("{}", m.pieces_on_arrival),
+            format!("{:.0}", m.joined.as_secs_f64()),
+            format!("{:.0}", p.membership_secs),
+            format!("{:.2}", p.local_in_remote),
+            format!("{:.2}", p.remote_in_local),
+            bytes.map_or("0".into(), |b| (b.downloaded / 1024).to_string()),
+            bytes.map_or("0".into(), |b| (b.uploaded / 1024).to_string()),
+        ]);
+    }
+    rows.sort_by_key(|r| r[4].parse::<f64>().map(|v| (v * 100.0) as i64).unwrap_or(0));
+    println!(
+        "{}",
+        table(
+            &[
+                "handle",
+                "arr.pieces",
+                "join_s",
+                "member_s",
+                "a/b",
+                "c/d",
+                "dlKiB",
+                "ulKiB"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,15 @@
+//! # bt-bench — benchmark and figure-regeneration harness
+//!
+//! * [`experiments`] — one driver per paper table/figure/ablation,
+//!   returning structured results;
+//! * [`report`] — plain-text tables, bars and sparklines for terminal
+//!   rendering.
+//!
+//! The `figures` binary glues the two together (`figures --help`), and
+//! the Criterion benches in `benches/` measure the hot paths (codec,
+//! picker, choker, event queue, whole-swarm steps).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,158 @@
+//! Plain-text rendering of experiment results: fixed-width tables,
+//! unicode bar charts and sparkline series, so every figure of the paper
+//! has a terminal-readable counterpart.
+
+/// Render a fixed-width table: header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(ncols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// A horizontal bar of `frac` (0–1) out of `width` cells.
+pub fn bar(frac: f64, width: usize) -> String {
+    let f = frac.clamp(0.0, 1.0);
+    let filled = (f * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '·' });
+    }
+    s
+}
+
+/// A sparkline over `values`, scaled to their own min/max.
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsample `values` to at most `n` points (mean per bucket) for
+/// sparkline rendering of long series.
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.len() <= n || n == 0 {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i * values.len() / n;
+        let hi = ((i + 1) * values.len() / n).max(lo + 1);
+        let bucket = &values[lo..hi.min(values.len())];
+        out.push(bucket.iter().sum::<f64>() / bucket.len() as f64);
+    }
+    out
+}
+
+/// Format seconds compactly (`432s` / `1.2h`).
+pub fn secs(s: f64) -> String {
+    if !s.is_finite() {
+        "-".to_owned()
+    } else if s >= 3600.0 {
+        format!("{:.1}h", s / 3600.0)
+    } else if s >= 100.0 {
+        format!("{:.0}s", s)
+    } else {
+        format!("{:.1}s", s)
+    }
+}
+
+/// Format a ratio with two decimals; NaN renders as "-".
+pub fn ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.2}")
+    } else {
+        "-".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["id", "value"],
+            &[
+                vec!["1".into(), "short".into()],
+                vec!["22".into(), "longer-cell".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("id"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("longer-cell"));
+    }
+
+    #[test]
+    fn bar_extremes() {
+        assert_eq!(bar(0.0, 4), "····");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4), "██··");
+        assert_eq!(bar(7.0, 3), "███", "clamped above 1");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert!(chars[0] < chars[3]);
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let v: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = downsample(&v, 10);
+        assert_eq!(d.len(), 10);
+        assert!(d[0] < d[9]);
+        assert_eq!(downsample(&v, 200).len(), 100, "short series untouched");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(30.0), "30.0s");
+        assert_eq!(secs(7200.0), "2.0h");
+        assert_eq!(secs(f64::NAN), "-");
+        assert_eq!(ratio(0.5), "0.50");
+        assert_eq!(ratio(f64::NAN), "-");
+    }
+}

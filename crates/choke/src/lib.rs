@@ -1,0 +1,19 @@
+//! # bt-choke — peer selection strategies
+//!
+//! The *peer selection* half of the paper's subject matter: the choke
+//! algorithm in leecher state, the new and old seed-state algorithms, the
+//! bit-level tit-for-tat baseline, and the sliding-window rate estimator
+//! their decisions are based on.
+//!
+//! See [`choker`] for the algorithms and [`rate`] for estimation.
+
+#![warn(missing_docs)]
+
+pub mod choker;
+pub mod rate;
+
+pub use choker::{
+    ChokeDecision, Choker, ChokerKind, LeecherChoker, PeerKey, PeerSnapshot, SeedChokerNew,
+    SeedChokerOld, TitForTatChoker, RECHOKE_PERIOD, REGULAR_SLOTS,
+};
+pub use rate::{RateEstimator, DEFAULT_WINDOW};

@@ -1,0 +1,2014 @@
+//! The BitTorrent client engine.
+//!
+//! An [`Engine`] is one peer's complete protocol brain: peer-set
+//! management (§II-B), interest tracking, the piece pipeline (rarest
+//! first + strict priority + end game via `bt-piece`), and the choke
+//! algorithm (`bt-choke`). It is transport-agnostic and clock-agnostic:
+//! the simulator (or a socket front-end) feeds it connection events and
+//! decoded messages, and drains [`Action`]s to execute.
+//!
+//! The engine is what the paper instruments; constructing it with
+//! [`Engine::with_recorder`] attaches the §III-C trace log.
+
+use crate::config::Config;
+use crate::connection::{ConnId, Connection};
+use crate::content::{DataMode, PieceBuffer};
+use bt_choke::{Choker, PeerSnapshot};
+use bt_instrument::trace::{Trace, TraceEvent, TraceMeta, UnchokeRole};
+use bt_piece::{Availability, Bitfield, Geometry, PickContext, PiecePicker, RequestScheduler};
+use bt_wire::fast;
+use bt_wire::message::{BlockRef, Message};
+use bt_wire::peer_id::{IpAddr, PeerId};
+use bt_wire::sha1::Digest;
+use bt_wire::time::Instant;
+use bt_wire::tracker::{AnnounceEvent, PeerEntry};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Capabilities a remote peer advertised in its handshake reserved bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerCaps {
+    /// Fast Extension (BEP 6, `reserved[7] & 0x04`).
+    pub fast: bool,
+    /// Extension protocol (BEP 10, `reserved[5] & 0x10`).
+    pub extended: bool,
+}
+
+impl PeerCaps {
+    /// Decode capabilities from handshake reserved bytes.
+    pub fn from_reserved(reserved: &[u8; 8]) -> PeerCaps {
+        PeerCaps {
+            fast: bt_wire::fast::supports_fast(reserved),
+            extended: bt_wire::extension::supports_extended(reserved),
+        }
+    }
+}
+
+/// An effect the engine wants the outside world to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit a control message on a connection (low latency path).
+    Send {
+        /// Target connection.
+        conn: ConnId,
+        /// The message.
+        msg: Message,
+    },
+    /// Enqueue a block for upload on a connection; the transport paces it
+    /// at the peer's upload capacity and delivers it as a `piece` message.
+    SendBlock {
+        /// Target connection.
+        conn: ConnId,
+        /// Which block to serve.
+        block: BlockRef,
+    },
+    /// Drop a queued-but-unsent block (remote sent `cancel`).
+    CancelBlock {
+        /// Target connection.
+        conn: ConnId,
+        /// Which block.
+        block: BlockRef,
+    },
+    /// Close a connection (engine already cleaned up its state).
+    Disconnect {
+        /// The connection to close.
+        conn: ConnId,
+    },
+    /// Announce to the tracker.
+    Announce {
+        /// The announce event.
+        event: AnnounceEvent,
+    },
+    /// Open a connection to a peer learned from the tracker.
+    Connect {
+        /// The peer to dial.
+        peer: PeerEntry,
+    },
+}
+
+/// One peer's protocol engine.
+pub struct Engine {
+    /// Engine configuration (§III-C defaults).
+    pub config: Config,
+    geometry: Geometry,
+    data: DataMode,
+    info_hash: Digest,
+    peer_id: PeerId,
+    ip: IpAddr,
+
+    own: Bitfield,
+    availability: Availability,
+    scheduler: RequestScheduler<ConnId>,
+    picker: Box<dyn PiecePicker>,
+    leecher_choker: Box<dyn Choker>,
+    seed_choker: Box<dyn Choker>,
+
+    conns: HashMap<ConnId, Connection>,
+    /// Connections that have delivered their bitfield (and are therefore
+    /// recorded as peer-set members).
+    joined: HashSet<ConnId>,
+    connected_ips: HashSet<IpAddr>,
+    next_conn: ConnId,
+    initiated_open: usize,
+    pending_dials: usize,
+    candidate_pool: VecDeque<PeerEntry>,
+
+    buffers: HashMap<u32, PieceBuffer>,
+    is_seed: bool,
+    seed_at: Option<Instant>,
+    endgame_recorded: bool,
+    last_announce: Instant,
+    /// Super-seed state: pieces revealed per connection, and global
+    /// reveal counts used to pick the least-revealed piece next.
+    revealed_to: HashMap<ConnId, HashSet<u32>>,
+    reveal_counts: Vec<u32>,
+
+    rng: SmallRng,
+    actions: Vec<Action>,
+    trace: Option<Trace>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("peer_id", &self.peer_id)
+            .field("ip", &self.ip)
+            .field(
+                "pieces",
+                &format!("{}/{}", self.own.count_ones(), self.own.len()),
+            )
+            .field("conns", &self.conns.len())
+            .field("is_seed", &self.is_seed)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Create an engine.
+    ///
+    /// `initial_pieces` is the starting bitfield (full for a seed, empty
+    /// for a fresh leecher, nearly full for an "almost done" joiner).
+    #[allow(clippy::too_many_arguments)] // construction-time facts, no natural grouping
+    pub fn new(
+        config: Config,
+        geometry: Geometry,
+        data: DataMode,
+        info_hash: Digest,
+        peer_id: PeerId,
+        ip: IpAddr,
+        initial_pieces: Bitfield,
+        seed: u64,
+    ) -> Engine {
+        assert_eq!(initial_pieces.len(), geometry.num_pieces());
+        let num_pieces = geometry.num_pieces();
+        let is_seed = initial_pieces.is_complete();
+        let picker = config.picker.build(num_pieces);
+        let leecher_choker = config.choker.build_leecher();
+        let seed_choker = config.choker.build_seed();
+        let config_endgame = config.endgame_enabled;
+        Engine {
+            config,
+            geometry,
+            data,
+            info_hash,
+            peer_id,
+            ip,
+            own: initial_pieces,
+            availability: Availability::new(num_pieces),
+            scheduler: {
+                let mut s = RequestScheduler::new(geometry);
+                s.set_endgame_enabled(config_endgame);
+                s
+            },
+            picker,
+            leecher_choker,
+            seed_choker,
+            conns: HashMap::new(),
+            joined: HashSet::new(),
+            connected_ips: HashSet::new(),
+            next_conn: 0,
+            initiated_open: 0,
+            pending_dials: 0,
+            candidate_pool: VecDeque::new(),
+            buffers: HashMap::new(),
+            is_seed,
+            seed_at: if is_seed { Some(Instant::ZERO) } else { None },
+            endgame_recorded: false,
+            last_announce: Instant::ZERO,
+            revealed_to: HashMap::new(),
+            reveal_counts: vec![0; num_pieces as usize],
+            rng: SmallRng::seed_from_u64(seed),
+            actions: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Attach a §III-C recorder; this engine becomes the *local peer*.
+    pub fn with_recorder(mut self, meta: TraceMeta) -> Engine {
+        self.trace = Some(Trace::new(meta));
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The engine's peer ID.
+    pub fn peer_id(&self) -> PeerId {
+        self.peer_id
+    }
+
+    /// The torrent's info-hash.
+    pub fn info_hash(&self) -> Digest {
+        self.info_hash
+    }
+
+    /// Reserved bytes to advertise in outgoing handshakes.
+    pub fn handshake_reserved(&self) -> [u8; 8] {
+        let mut reserved = [0u8; 8];
+        if self.config.fast_extension {
+            fast::advertise_fast(&mut reserved);
+        }
+        if self.config.pex_enabled {
+            bt_wire::extension::advertise_extended(&mut reserved);
+        }
+        reserved
+    }
+
+    /// The engine's IP address.
+    pub fn ip(&self) -> IpAddr {
+        self.ip
+    }
+
+    /// The local bitfield.
+    pub fn own_pieces(&self) -> &Bitfield {
+        &self.own
+    }
+
+    /// Number of verified pieces.
+    pub fn num_pieces_have(&self) -> u32 {
+        self.own.count_ones()
+    }
+
+    /// True once the download completed (or the engine started as seed).
+    pub fn is_seed(&self) -> bool {
+        self.is_seed
+    }
+
+    /// When the engine became a seed.
+    pub fn seed_at(&self) -> Option<Instant> {
+        self.seed_at
+    }
+
+    /// Current peer set size.
+    pub fn peer_set_size(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Piece availability over the current peer set.
+    pub fn availability(&self) -> &Availability {
+        &self.availability
+    }
+
+    /// Whether end game mode is active.
+    pub fn in_endgame(&self) -> bool {
+        self.scheduler.in_endgame()
+    }
+
+    /// Iterate over connections (read-only view for the harness).
+    pub fn connections(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.values()
+    }
+
+    /// Connection by id.
+    pub fn connection(&self, conn: ConnId) -> Option<&Connection> {
+        self.conns.get(&conn)
+    }
+
+    /// Take ownership of the recorded trace (ends recording).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        let mut trace = self.trace.take();
+        if let Some(tr) = trace.as_mut() {
+            tr.meta.seed_at = self.seed_at;
+        }
+        trace
+    }
+
+    /// Drain accumulated actions.
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Feed global per-piece copy counts to the picker (only the
+    /// global-rarest oracle baseline consumes them).
+    pub fn update_global_counts(&mut self, counts: &[u32]) {
+        self.picker.update_global(counts);
+    }
+
+    fn record(&mut self, now: Instant, event: TraceEvent) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(now, event);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Session lifecycle
+    // ------------------------------------------------------------------
+
+    /// Join the torrent: announce `started` to the tracker.
+    pub fn start(&mut self, now: Instant) {
+        self.last_announce = now;
+        self.actions.push(Action::Announce {
+            event: AnnounceEvent::Started,
+        });
+    }
+
+    /// Tracker returned a peer list; dial as many as policy allows.
+    pub fn on_tracker_response(&mut self, _now: Instant, peers: Vec<PeerEntry>) {
+        for p in peers {
+            if p.ip != self.ip && !self.connected_ips.contains(&p.ip) {
+                self.candidate_pool.push_back(p);
+            }
+        }
+        self.dial_candidates();
+    }
+
+    fn dial_candidates(&mut self) {
+        while self.initiated_open + self.pending_dials < self.config.max_initiated
+            && self.conns.len() + self.pending_dials < self.config.max_peer_set
+        {
+            let Some(peer) = self.candidate_pool.pop_front() else {
+                break;
+            };
+            if self.connected_ips.contains(&peer.ip) {
+                continue;
+            }
+            self.pending_dials += 1;
+            self.actions.push(Action::Connect { peer });
+        }
+    }
+
+    /// Should an inbound connection from `ip` be accepted?
+    pub fn accept_incoming(&self, ip: IpAddr) -> bool {
+        if self.conns.len() >= self.config.max_peer_set {
+            return false;
+        }
+        !(self.config.one_connection_per_ip && self.connected_ips.contains(&ip))
+    }
+
+    /// A connection (either direction) completed its handshake.
+    /// Returns the new connection handle, or `None` if refused.
+    pub fn on_peer_connected(
+        &mut self,
+        now: Instant,
+        ip: IpAddr,
+        peer_id: PeerId,
+        initiated_by_us: bool,
+        caps: PeerCaps,
+    ) -> Option<ConnId> {
+        if initiated_by_us {
+            self.pending_dials = self.pending_dials.saturating_sub(1);
+        }
+        if !initiated_by_us && !self.accept_incoming(ip) {
+            return None;
+        }
+        if self.config.one_connection_per_ip && self.connected_ips.contains(&ip) {
+            return None;
+        }
+        if self.conns.len() >= self.config.max_peer_set {
+            return None;
+        }
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let mut conn = Connection::new(
+            id,
+            ip,
+            peer_id,
+            initiated_by_us,
+            self.geometry.num_pieces(),
+            now,
+        );
+        conn.fast = self.config.fast_extension && caps.fast;
+        conn.extended = self.config.pex_enabled && caps.extended;
+        let is_fast = conn.fast;
+        let is_extended = conn.extended;
+        self.conns.insert(id, conn);
+        self.connected_ips.insert(ip);
+        if initiated_by_us {
+            self.initiated_open += 1;
+        }
+        // Advertise our pieces. A super seed hides them and reveals via
+        // `have` messages instead (§IV-A.1's entropy artefact). With the
+        // Fast Extension, full and empty maps use the compact forms.
+        if self.config.super_seed {
+            let empty = Bitfield::new(self.geometry.num_pieces());
+            if is_fast {
+                self.send(now, id, Message::HaveNone);
+            } else {
+                self.send(now, id, Message::Bitfield(empty.to_wire()));
+            }
+        } else if is_fast && self.own.is_complete() {
+            self.send(now, id, Message::HaveAll);
+        } else if is_fast && self.own.count_ones() == 0 {
+            self.send(now, id, Message::HaveNone);
+        } else {
+            let bits = self.own.to_wire();
+            self.send(now, id, Message::Bitfield(bits));
+        }
+        // Fast Extension: grant the canonical allowed-fast set (BEP 6),
+        // the bootstrap for the paper's §VI first-blocks problem.
+        if is_fast && !self.config.super_seed {
+            let grants = fast::allowed_fast_set(
+                ip,
+                &self.info_hash,
+                self.geometry.num_pieces(),
+                self.config.allowed_fast_count,
+            );
+            for &piece in &grants {
+                self.send(now, id, Message::AllowedFast(piece));
+            }
+            self.conns
+                .get_mut(&id)
+                .expect("just inserted")
+                .allowed_fast_sent = grants;
+        }
+        // Extension protocol: advertise ut_pex in the extension handshake.
+        if is_extended {
+            let hs = bt_wire::extension::ExtendedHandshake::with_pex();
+            self.send(
+                now,
+                id,
+                Message::Extended {
+                    ext_id: bt_wire::extension::HANDSHAKE_ID,
+                    payload: hs.encode(),
+                },
+            );
+        }
+        // Super seeding: advertise nothing, then reveal exactly one piece
+        // (the globally least-revealed) to the new peer via `have`.
+        if self.config.super_seed {
+            self.reveal_next_piece(now, id);
+        }
+        Some(id)
+    }
+
+    /// Super-seeding: offer `conn` the least-revealed piece it has not
+    /// been offered yet. Minimising reveal counts is what keeps the
+    /// initial seed's duplicate-piece ratio low (§IV-A.4).
+    /// Send `ut_pex` deltas (current peer set vs. last gossip) to every
+    /// pex-capable connection whose interval elapsed.
+    fn send_pex_rounds(&mut self, now: Instant) {
+        let current: Vec<IpAddr> = {
+            let mut v: Vec<IpAddr> = self.conns.values().map(|c| c.ip).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut ids: Vec<ConnId> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.remote_pex_id.is_some()
+                    && now.saturating_since(c.last_pex) >= self.config.pex_interval
+            })
+            .map(|c| c.id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (ext_id, added, dropped) = {
+                let c = self.conns.get_mut(&id).expect("present");
+                c.last_pex = now;
+                let own_ip = c.ip;
+                let added: Vec<PeerEntry> = current
+                    .iter()
+                    .filter(|ip| **ip != own_ip && !c.pex_sent.contains(ip))
+                    .map(|&ip| PeerEntry { ip, port: 6881 })
+                    .collect();
+                let dropped: Vec<PeerEntry> = c
+                    .pex_sent
+                    .iter()
+                    .filter(|ip| !current.contains(ip))
+                    .map(|&ip| PeerEntry { ip, port: 6881 })
+                    .collect();
+                c.pex_sent = current.iter().copied().filter(|ip| *ip != own_ip).collect();
+                (c.remote_pex_id.expect("filtered"), added, dropped)
+            };
+            if added.is_empty() && dropped.is_empty() {
+                continue;
+            }
+            let payload = bt_wire::extension::PexPayload { added, dropped }.encode();
+            self.send(now, id, Message::Extended { ext_id, payload });
+        }
+    }
+
+    fn reveal_next_piece(&mut self, now: Instant, conn: ConnId) {
+        let already = self.revealed_to.entry(conn).or_default().clone();
+        let mut best: Option<(u32, u32)> = None; // (count, piece)
+        for piece in self.own.iter_ones() {
+            if already.contains(&piece) {
+                continue;
+            }
+            let count = self.reveal_counts[piece as usize];
+            if best.is_none_or(|(c, p)| count < c || (count == c && piece < p)) {
+                best = Some((count, piece));
+            }
+        }
+        if let Some((_, piece)) = best {
+            self.reveal_counts[piece as usize] += 1;
+            self.revealed_to.entry(conn).or_default().insert(piece);
+            self.send(now, conn, Message::Have(piece));
+        }
+    }
+
+    /// A dial failed before the handshake completed.
+    pub fn on_connect_failed(&mut self, _now: Instant) {
+        self.pending_dials = self.pending_dials.saturating_sub(1);
+        self.dial_candidates();
+    }
+
+    /// A connection closed (remote left or transport error).
+    pub fn on_peer_disconnected(&mut self, now: Instant, conn: ConnId) {
+        self.cleanup_conn(now, conn);
+        self.dial_candidates();
+    }
+
+    fn cleanup_conn(&mut self, now: Instant, conn: ConnId) {
+        let Some(c) = self.conns.remove(&conn) else {
+            return;
+        };
+        self.connected_ips.remove(&c.ip);
+        if c.initiated_by_us {
+            self.initiated_open = self.initiated_open.saturating_sub(1);
+        }
+        if self.joined.remove(&conn) {
+            self.availability.remove_peer(&c.bitfield);
+            self.record(now, TraceEvent::PeerLeft { peer: conn });
+        }
+        self.revealed_to.remove(&conn);
+        let _dropped = self.scheduler.on_peer_gone(conn);
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Process one decoded message from a connection.
+    pub fn on_message(&mut self, now: Instant, conn: ConnId, msg: Message) {
+        if !self.conns.contains_key(&conn) {
+            return; // raced a disconnect
+        }
+        if self.trace.is_some() {
+            // §III-C: a log of each message received. Piece payloads and
+            // choke/interest transitions also get dedicated richer events.
+            let kind = msg.kind();
+            self.record(
+                now,
+                TraceEvent::Message {
+                    peer: conn,
+                    kind,
+                    sent: false,
+                },
+            );
+        }
+        match msg {
+            Message::KeepAlive | Message::Port(_) => {}
+            Message::Bitfield(bits) => self.on_bitfield(now, conn, &bits),
+            Message::Have(piece) => self.on_have(now, conn, piece),
+            Message::Interested => self.on_remote_interest(now, conn, true),
+            Message::NotInterested => self.on_remote_interest(now, conn, false),
+            Message::Choke => self.on_remote_choke(now, conn, true),
+            Message::Unchoke => self.on_remote_choke(now, conn, false),
+            Message::Request(block) => self.on_request(now, conn, block),
+            Message::Piece { block, data } => self.on_piece(now, conn, block, data),
+            Message::Cancel(block) => {
+                self.actions.push(Action::CancelBlock { conn, block });
+            }
+            Message::Suggest(_) => {
+                // Advisory only; the rarest-first picker ignores hints.
+            }
+            Message::HaveAll => {
+                let full = Bitfield::full(self.geometry.num_pieces());
+                self.on_bitfield(now, conn, &full.to_wire());
+            }
+            Message::HaveNone => {
+                let empty = Bitfield::new(self.geometry.num_pieces());
+                self.on_bitfield(now, conn, &empty.to_wire());
+            }
+            Message::RejectRequest(block) => self.on_reject(now, conn, block),
+            Message::AllowedFast(piece) => self.on_allowed_fast(now, conn, piece),
+            Message::Extended { ext_id, payload } => self.on_extended(now, conn, ext_id, &payload),
+        }
+    }
+
+    fn on_extended(&mut self, now: Instant, conn: ConnId, ext_id: u8, payload: &[u8]) {
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        if !c.extended {
+            return; // extension frames without negotiation: ignore
+        }
+        if ext_id == bt_wire::extension::HANDSHAKE_ID {
+            if let Ok(hs) = bt_wire::extension::ExtendedHandshake::decode(payload) {
+                c.remote_pex_id = hs.ut_pex_id();
+            }
+            return;
+        }
+        // ut_pex gossip arrives under the ID *we* advertised.
+        if ext_id == bt_wire::extension::UT_PEX_LOCAL_ID {
+            if let Ok(pex) = bt_wire::extension::PexPayload::decode(payload) {
+                let _ = now;
+                for p in pex.added {
+                    if p.ip != self.ip && !self.connected_ips.contains(&p.ip) {
+                        self.candidate_pool.push_back(p);
+                    }
+                }
+                self.dial_candidates();
+            }
+        }
+    }
+
+    fn on_bitfield(&mut self, now: Instant, conn: ConnId, bits: &[u8]) {
+        let num_pieces = self.geometry.num_pieces();
+        let Some(bf) = Bitfield::from_wire(bits, num_pieces) else {
+            // Protocol violation: drop the peer.
+            self.cleanup_conn(now, conn);
+            self.actions.push(Action::Disconnect { conn });
+            return;
+        };
+        let (ip, peer_id, pieces) = {
+            let c = self.conns.get_mut(&conn).expect("checked");
+            c.bitfield = bf;
+            (c.ip, c.peer_id, c.bitfield.count_ones())
+        };
+        if self.joined.insert(conn) {
+            let old = self.conns[&conn].bitfield.clone();
+            self.availability.add_peer(&old);
+            self.record(
+                now,
+                TraceEvent::PeerJoined {
+                    peer: conn,
+                    ip,
+                    peer_id,
+                    pieces_on_arrival: pieces,
+                    total_pieces: num_pieces,
+                },
+            );
+        }
+        self.after_remote_pieces_changed(now, conn);
+    }
+
+    fn on_have(&mut self, now: Instant, conn: ConnId, piece: u32) {
+        if piece >= self.geometry.num_pieces() {
+            self.cleanup_conn(now, conn);
+            self.actions.push(Action::Disconnect { conn });
+            return;
+        }
+        let newly = {
+            let c = self.conns.get_mut(&conn).expect("checked");
+            c.bitfield.set(piece)
+        };
+        if newly && self.joined.contains(&conn) {
+            self.availability.add_have(piece);
+        }
+        // Super seeding: a peer confirming a piece we revealed to it is
+        // the trigger to offer it the next one.
+        if self.config.super_seed
+            && newly
+            && self
+                .revealed_to
+                .get(&conn)
+                .is_some_and(|set| set.contains(&piece))
+        {
+            self.reveal_next_piece(now, conn);
+        }
+        self.after_remote_pieces_changed(now, conn);
+    }
+
+    /// Remote gained pieces: refresh interest, drop seed↔seed links, and
+    /// top up the request pipeline.
+    fn after_remote_pieces_changed(&mut self, now: Instant, conn: ConnId) {
+        if self.is_seed && self.conns.get(&conn).is_some_and(Connection::is_seed) {
+            // Seeds have nothing to exchange (§IV-A.2.b: "when a leecher
+            // becomes a seed, it closes its connections to all the seeds").
+            self.cleanup_conn(now, conn);
+            self.actions.push(Action::Disconnect { conn });
+            return;
+        }
+        self.update_local_interest(now, conn);
+        self.fill_requests(now, conn);
+    }
+
+    fn on_remote_interest(&mut self, now: Instant, conn: ConnId, interested: bool) {
+        {
+            let c = self.conns.get_mut(&conn).expect("checked");
+            if c.peer_interested == interested {
+                return;
+            }
+            c.peer_interested = interested;
+        }
+        self.record(
+            now,
+            TraceEvent::RemoteInterest {
+                peer: conn,
+                interested,
+            },
+        );
+    }
+
+    fn on_remote_choke(&mut self, now: Instant, conn: ConnId, choked: bool) {
+        {
+            let c = self.conns.get_mut(&conn).expect("checked");
+            if c.peer_choking == choked {
+                return;
+            }
+            c.peer_choking = choked;
+        }
+        self.record(now, TraceEvent::RemoteChoke { peer: conn, choked });
+        if choked {
+            // Mainline drops outstanding requests on choke.
+            let _ = self.scheduler.on_choked(conn);
+            // Allowed-fast pieces remain requestable while choked.
+            if self.conns.get(&conn).is_some_and(|c| c.fast) {
+                self.fill_requests(now, conn);
+            }
+        } else {
+            self.fill_requests(now, conn);
+        }
+    }
+
+    fn on_reject(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
+        let Some(c) = self.conns.get(&conn) else {
+            return;
+        };
+        if !c.fast {
+            return; // protocol violation outside the Fast Extension
+        }
+        let _ = self.scheduler.on_request_rejected(conn, block);
+        let _ = now;
+    }
+
+    fn on_allowed_fast(&mut self, now: Instant, conn: ConnId, piece: u32) {
+        if piece >= self.geometry.num_pieces() {
+            return;
+        }
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        if !c.fast {
+            return;
+        }
+        c.allowed_fast_received.insert(piece);
+        // The grant may make a choked connection usable right away.
+        self.fill_requests(now, conn);
+    }
+
+    fn on_request(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
+        if self.config.upload_disabled {
+            return; // free rider: silently ignore
+        }
+        let Some(c) = self.conns.get(&conn) else {
+            return;
+        };
+        if block.piece >= self.geometry.num_pieces() || !self.own.get(block.piece) {
+            if c.fast {
+                self.send(now, conn, Message::RejectRequest(block));
+            }
+            return;
+        }
+        if c.am_choking {
+            // Fast Extension: allowed-fast pieces are served even while
+            // choked; everything else gets an explicit reject (the base
+            // protocol silently drops).
+            if c.fast {
+                if c.allowed_fast_sent.contains(&block.piece) {
+                    let expected = self.geometry.block_ref(block.piece, block.block_index());
+                    if expected == block {
+                        self.actions.push(Action::SendBlock { conn, block });
+                        return;
+                    }
+                }
+                self.send(now, conn, Message::RejectRequest(block));
+            }
+            return;
+        }
+        let expected = self.geometry.block_ref(block.piece, block.block_index());
+        if expected != block {
+            return; // misaligned request
+        }
+        let _ = now;
+        self.actions.push(Action::SendBlock { conn, block });
+    }
+
+    /// The transport finished sending a block (for rate accounting).
+    pub fn on_block_sent(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.upload.record(now, u64::from(block.length));
+            c.last_sent = now;
+        }
+        if self.trace.is_some() {
+            self.record(
+                now,
+                TraceEvent::Message {
+                    peer: conn,
+                    kind: bt_wire::message::MessageKind::Piece,
+                    sent: true,
+                },
+            );
+        }
+        self.record(now, TraceEvent::BlockSent { peer: conn, block });
+    }
+
+    fn on_piece(&mut self, now: Instant, conn: ConnId, block: BlockRef, data: bytes::Bytes) {
+        {
+            let Some(c) = self.conns.get_mut(&conn) else {
+                return;
+            };
+            c.download.record(now, u64::from(block.length));
+            c.last_block_received = Some(now);
+        }
+        let receipt = self.scheduler.on_block_received(conn, block);
+        if !receipt.accepted {
+            return;
+        }
+        self.record(now, TraceEvent::BlockReceived { peer: conn, block });
+        if self.data.is_real() {
+            let buf = self
+                .buffers
+                .entry(block.piece)
+                .or_insert_with(|| PieceBuffer::new(self.geometry.blocks_in_piece(block.piece)));
+            buf.store(block.block_index(), data);
+        }
+        for (other, cancel) in receipt.cancels {
+            self.send(now, other, Message::Cancel(cancel));
+        }
+        if let Some(piece) = receipt.completed_piece {
+            self.on_piece_complete(now, piece);
+        }
+        self.fill_requests(now, conn);
+    }
+
+    fn on_piece_complete(&mut self, now: Instant, piece: u32) {
+        let ok = if self.data.is_real() {
+            let assembled = self
+                .buffers
+                .remove(&piece)
+                .and_then(|b| b.assemble())
+                .unwrap_or_default();
+            self.data.verify_piece(piece, &assembled)
+        } else {
+            true
+        };
+        if !ok {
+            self.scheduler.on_piece_failed(piece);
+            self.record(now, TraceEvent::PieceFailed { piece });
+            return;
+        }
+        self.scheduler.on_piece_verified(piece);
+        self.own.set(piece);
+        self.record(now, TraceEvent::PieceCompleted { piece });
+        let mut conn_ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        conn_ids.sort_unstable();
+        for id in &conn_ids {
+            self.send(now, *id, Message::Have(piece));
+        }
+        // Our interest in peers may lapse now.
+        for id in conn_ids {
+            self.update_local_interest(now, id);
+        }
+        if self.own.is_complete() {
+            self.become_seed(now);
+        }
+    }
+
+    fn become_seed(&mut self, now: Instant) {
+        self.is_seed = true;
+        self.seed_at = Some(now);
+        self.record(now, TraceEvent::BecameSeed);
+        self.actions.push(Action::Announce {
+            event: AnnounceEvent::Completed,
+        });
+        // Close connections to other seeds.
+        let mut seeds: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.is_seed())
+            .map(|(&id, _)| id)
+            .collect();
+        seeds.sort_unstable();
+        for id in seeds {
+            self.cleanup_conn(now, id);
+            self.actions.push(Action::Disconnect { conn: id });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interest and requests
+    // ------------------------------------------------------------------
+
+    fn update_local_interest(&mut self, now: Instant, conn: ConnId) {
+        let Some(c) = self.conns.get(&conn) else {
+            return;
+        };
+        let want = !self.is_seed && self.own.is_interested_in(&c.bitfield);
+        if want == c.am_interested {
+            return;
+        }
+        self.conns.get_mut(&conn).expect("checked").am_interested = want;
+        let msg = if want {
+            Message::Interested
+        } else {
+            Message::NotInterested
+        };
+        self.send(now, conn, msg);
+        self.record(
+            now,
+            TraceEvent::LocalInterest {
+                peer: conn,
+                interested: want,
+            },
+        );
+    }
+
+    fn fill_requests(&mut self, now: Instant, conn: ConnId) {
+        let Some(c) = self.conns.get(&conn) else {
+            return;
+        };
+        if self.is_seed {
+            return;
+        }
+        // While choked, only the Fast Extension's allowed-fast pieces are
+        // requestable; restrict the visible remote bitfield to the grant.
+        let choked_fast = c.peer_choking && c.fast && !c.allowed_fast_received.is_empty();
+        if c.peer_choking && !choked_fast {
+            return;
+        }
+        if !c.peer_choking && !c.am_interested {
+            return;
+        }
+        let room = self
+            .config
+            .pipeline_depth
+            .saturating_sub(self.scheduler.outstanding_to(conn));
+        if room == 0 {
+            return;
+        }
+        let remote = if choked_fast {
+            let mut restricted = Bitfield::new(self.geometry.num_pieces());
+            for &p in &c.allowed_fast_received {
+                if c.bitfield.get(p) {
+                    restricted.set(p);
+                }
+            }
+            restricted
+        } else {
+            c.bitfield.clone()
+        };
+        let downloaded = self.own.count_ones();
+        let never = |_p: u32| false; // the scheduler tracks in-progress itself
+        let ctx = PickContext {
+            own: &self.own,
+            remote: &remote,
+            availability: &self.availability,
+            in_progress: &never,
+            downloaded_pieces: downloaded,
+        };
+        let reqs =
+            self.scheduler
+                .next_requests(conn, &ctx, self.picker.as_mut(), &mut self.rng, room);
+        if self.scheduler.in_endgame() && !self.endgame_recorded {
+            self.endgame_recorded = true;
+            self.record(now, TraceEvent::EndGameEntered);
+        }
+        for block in reqs {
+            self.send(now, conn, Message::Request(block));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Choke rounds and periodic duties
+    // ------------------------------------------------------------------
+
+    /// Run one 10-second rechoke round (§II-C.2). The caller schedules
+    /// this every [`Config::rechoke_period`].
+    pub fn rechoke(&mut self, now: Instant) {
+        let snapshots: Vec<PeerSnapshot> = {
+            let mut v: Vec<PeerSnapshot> =
+                self.conns.values_mut().map(|c| c.snapshot(now)).collect();
+            v.sort_by_key(|s| s.key);
+            v
+        };
+        let decision = if self.is_seed {
+            self.seed_choker.rechoke(now, &snapshots, &mut self.rng)
+        } else {
+            self.leecher_choker.rechoke(now, &snapshots, &mut self.rng)
+        };
+        let desired: HashSet<ConnId> = decision.unchoked().into_iter().collect();
+        let mut all: Vec<ConnId> = self.conns.keys().copied().collect();
+        all.sort_unstable();
+        for id in all {
+            let currently_unchoked = !self.conns[&id].am_choking;
+            if desired.contains(&id) && !currently_unchoked {
+                let role = if decision.regular.contains(&id) {
+                    if self.is_seed {
+                        UnchokeRole::SeedKept
+                    } else {
+                        UnchokeRole::Regular
+                    }
+                } else if self.is_seed {
+                    UnchokeRole::SeedRandom
+                } else {
+                    UnchokeRole::Optimistic
+                };
+                {
+                    let c = self.conns.get_mut(&id).expect("present");
+                    c.am_choking = false;
+                    c.last_unchoked = Some(now);
+                }
+                self.send(now, id, Message::Unchoke);
+                self.record(
+                    now,
+                    TraceEvent::LocalChoke {
+                        peer: id,
+                        choked: false,
+                        role: Some(role),
+                    },
+                );
+            } else if !desired.contains(&id) && currently_unchoked {
+                self.conns.get_mut(&id).expect("present").am_choking = true;
+                self.send(now, id, Message::Choke);
+                self.record(
+                    now,
+                    TraceEvent::LocalChoke {
+                        peer: id,
+                        choked: true,
+                        role: None,
+                    },
+                );
+            }
+            // Note: a retained slot does NOT refresh `last_unchoked` — the
+            // new seed-state algorithm orders by the time a peer was last
+            // *granted* an unchoke, so kept peers age and each new SRU
+            // "tak[es] an unchoke slot off the oldest SKU peer" (§II-C.2).
+        }
+        self.periodic_duties(now);
+    }
+
+    fn periodic_duties(&mut self, now: Instant) {
+        // Rate-estimator log for active peers (§III-C).
+        let mut samples: Vec<(ConnId, f64, f64)> = self
+            .conns
+            .values_mut()
+            .filter(|c| c.in_active_set() || !c.peer_choking)
+            .map(|c| {
+                let d = c.download.rate(now);
+                let u = c.upload.rate(now);
+                (c.id, d, u)
+            })
+            .collect();
+        samples.sort_unstable_by_key(|(id, _, _)| *id);
+        if self.trace.is_some() {
+            for (peer, download_rate, upload_rate) in samples {
+                self.record(
+                    now,
+                    TraceEvent::RateSample {
+                        peer,
+                        download_rate,
+                        upload_rate,
+                    },
+                );
+            }
+        }
+        // Keep-alives after 2 minutes of silence.
+        let mut quiet: Vec<ConnId> = self
+            .conns
+            .values()
+            .filter(|c| now.saturating_since(c.last_sent) >= self.config.keepalive)
+            .map(|c| c.id)
+            .collect();
+        quiet.sort_unstable();
+        for id in quiet {
+            self.send(now, id, Message::KeepAlive);
+        }
+        // Peer exchange: gossip peer-set deltas to ut_pex-capable peers.
+        if self.config.pex_enabled {
+            self.send_pex_rounds(now);
+        }
+        // Tracker refresh when the peer set runs low (§II-B: threshold 20).
+        if self.conns.len() < self.config.min_peer_set
+            && now.saturating_since(self.last_announce) >= bt_wire::time::Duration::from_secs(60)
+        {
+            self.last_announce = now;
+            self.actions.push(Action::Announce {
+                event: AnnounceEvent::Periodic,
+            });
+        }
+    }
+
+    /// Record a periodic availability snapshot (figures 2–6 source data).
+    pub fn sample_availability(&mut self, now: Instant) {
+        if self.trace.is_none() {
+            return;
+        }
+        let stats = self.availability.stats();
+        let rarest = self.availability.rarest_set_size();
+        let peers = self.conns.len() as u32;
+        self.record(
+            now,
+            TraceEvent::AvailabilitySample {
+                min: stats.min,
+                mean: stats.mean,
+                max: stats.max,
+                rarest_set_size: rarest,
+                peer_set_size: peers,
+            },
+        );
+    }
+
+    fn send(&mut self, now: Instant, conn: ConnId, msg: Message) {
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.last_sent = now;
+        }
+        if self.trace.is_some() {
+            let kind = msg.kind();
+            self.record(
+                now,
+                TraceEvent::Message {
+                    peer: conn,
+                    kind,
+                    sent: true,
+                },
+            );
+        }
+        self.actions.push(Action::Send { conn, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_wire::metainfo::BLOCK_LEN;
+    use bt_wire::peer_id::ClientKind;
+    use bytes::Bytes;
+
+    /// 4 pieces × 2 blocks.
+    fn geometry() -> Geometry {
+        Geometry::new(u64::from(8 * BLOCK_LEN), 2 * BLOCK_LEN)
+    }
+
+    fn leecher(seed: u64) -> Engine {
+        Engine::new(
+            Config::default(),
+            geometry(),
+            DataMode::Virtual,
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, seed),
+            IpAddr(100 + seed as u32),
+            Bitfield::new(4),
+            seed,
+        )
+    }
+
+    fn connect_peer(e: &mut Engine, now: Instant, ip: u32, pieces: &[u32]) -> ConnId {
+        let id = e
+            .on_peer_connected(
+                now,
+                IpAddr(ip),
+                PeerId::new(ClientKind::Azureus, u64::from(ip)),
+                false,
+                PeerCaps::default(),
+            )
+            .expect("accepted");
+        let mut bf = Bitfield::new(4);
+        for &p in pieces {
+            bf.set(p);
+        }
+        e.on_message(now, id, Message::Bitfield(bf.to_wire()));
+        id
+    }
+
+    fn actions_of(e: &mut Engine) -> Vec<Action> {
+        e.drain_actions()
+    }
+
+    #[test]
+    fn start_announces() {
+        let mut e = leecher(1);
+        e.start(Instant::ZERO);
+        assert_eq!(
+            actions_of(&mut e),
+            vec![Action::Announce {
+                event: AnnounceEvent::Started
+            }]
+        );
+    }
+
+    #[test]
+    fn sends_bitfield_and_interest_on_connect() {
+        let mut e = leecher(1);
+        let t = Instant::from_secs(1);
+        let id = connect_peer(&mut e, t, 7, &[0, 1]);
+        let acts = actions_of(&mut e);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Send { conn, msg: Message::Bitfield(_) } if *conn == id)));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Send { conn, msg: Message::Interested } if *conn == id)));
+    }
+
+    #[test]
+    fn rejects_duplicate_ip() {
+        let mut e = leecher(1);
+        let t = Instant::ZERO;
+        let _ = connect_peer(&mut e, t, 7, &[0]);
+        assert!(!e.accept_incoming(IpAddr(7)));
+        assert!(e
+            .on_peer_connected(
+                t,
+                IpAddr(7),
+                PeerId::new(ClientKind::BitComet, 2),
+                false,
+                PeerCaps::default()
+            )
+            .is_none());
+        // A different IP is fine.
+        assert!(e.accept_incoming(IpAddr(8)));
+    }
+
+    #[test]
+    fn requests_flow_after_unchoke() {
+        let mut e = leecher(1);
+        let t = Instant::from_secs(1);
+        let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
+        let _ = actions_of(&mut e);
+        e.on_message(t, id, Message::Unchoke);
+        let acts = actions_of(&mut e);
+        let reqs: Vec<&BlockRef> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: Message::Request(b),
+                    ..
+                } => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reqs.len(), 8, "pipeline fills to depth or block count");
+    }
+
+    #[test]
+    fn download_completes_and_becomes_seed() {
+        let mut e = leecher(1);
+        let t = Instant::from_secs(1);
+        let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
+        e.on_message(t, id, Message::Unchoke);
+        // Serve every requested block until the pipeline drains.
+        let mut served = std::collections::HashSet::new();
+        let mut all_actions = Vec::new();
+        loop {
+            let acts = actions_of(&mut e);
+            let mut any = false;
+            for a in acts {
+                if let Action::Send {
+                    msg: Message::Request(b),
+                    ..
+                } = a
+                {
+                    if served.insert(b) {
+                        any = true;
+                        e.on_message(
+                            t,
+                            id,
+                            Message::Piece {
+                                block: b,
+                                data: Bytes::new(),
+                            },
+                        );
+                    }
+                } else {
+                    all_actions.push(a);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        assert!(e.is_seed(), "all pieces served → seed");
+        assert_eq!(e.num_pieces_have(), 4);
+        all_actions.extend(actions_of(&mut e));
+        assert!(all_actions.iter().any(|a| matches!(
+            a,
+            Action::Announce {
+                event: AnnounceEvent::Completed
+            }
+        )));
+    }
+
+    #[test]
+    fn seed_disconnects_from_seeds() {
+        let mut e = leecher(1);
+        let t = Instant::from_secs(1);
+        let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
+        e.on_message(t, id, Message::Unchoke);
+        loop {
+            let acts = actions_of(&mut e);
+            let reqs: Vec<BlockRef> = acts
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Send {
+                        msg: Message::Request(b),
+                        ..
+                    } => Some(*b),
+                    _ => None,
+                })
+                .collect();
+            if reqs.is_empty() {
+                break;
+            }
+            for b in reqs {
+                e.on_message(
+                    t,
+                    id,
+                    Message::Piece {
+                        block: b,
+                        data: Bytes::new(),
+                    },
+                );
+            }
+        }
+        assert!(e.is_seed());
+        // The remote was a seed; the engine must have dropped it.
+        assert_eq!(e.peer_set_size(), 0);
+    }
+
+    #[test]
+    fn serves_requests_only_when_unchoked() {
+        let e = leecher(1);
+        // Give the engine all pieces (construct as seed).
+        let mut seed_engine = Engine::new(
+            Config::default(),
+            geometry(),
+            DataMode::Virtual,
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 9),
+            IpAddr(1),
+            Bitfield::full(4),
+            9,
+        );
+        let t = Instant::from_secs(1);
+        let id = seed_engine
+            .on_peer_connected(
+                t,
+                IpAddr(2),
+                PeerId::new(ClientKind::Azureus, 2),
+                false,
+                PeerCaps::default(),
+            )
+            .unwrap();
+        seed_engine.on_message(t, id, Message::Bitfield(Bitfield::new(4).to_wire()));
+        seed_engine.on_message(t, id, Message::Interested);
+        let _ = seed_engine.drain_actions();
+        let block = geometry().block_ref(0, 0);
+        // Choked: request ignored.
+        seed_engine.on_message(t, id, Message::Request(block));
+        assert!(seed_engine.drain_actions().is_empty());
+        // After a rechoke the interested peer gets unchoked and served.
+        seed_engine.rechoke(Instant::from_secs(10));
+        let acts = seed_engine.drain_actions();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::Unchoke,
+                ..
+            }
+        )));
+        seed_engine.on_message(t, id, Message::Request(block));
+        let acts = seed_engine.drain_actions();
+        assert_eq!(acts, vec![Action::SendBlock { conn: id, block }]);
+        let _ = e; // silence unused
+    }
+
+    #[test]
+    fn free_rider_never_serves() {
+        let mut fr = Engine::new(
+            Config::free_rider(),
+            geometry(),
+            DataMode::Virtual,
+            [9u8; 20],
+            PeerId::new(ClientKind::FreeRider, 3),
+            IpAddr(3),
+            Bitfield::full(4),
+            3,
+        );
+        let t = Instant::ZERO;
+        let id = fr
+            .on_peer_connected(
+                t,
+                IpAddr(4),
+                PeerId::new(ClientKind::Azureus, 4),
+                false,
+                PeerCaps::default(),
+            )
+            .unwrap();
+        fr.on_message(t, id, Message::Bitfield(Bitfield::new(4).to_wire()));
+        fr.on_message(t, id, Message::Interested);
+        fr.rechoke(Instant::from_secs(10));
+        let _ = fr.drain_actions();
+        fr.on_message(t, id, Message::Request(geometry().block_ref(0, 0)));
+        assert!(fr
+            .drain_actions()
+            .iter()
+            .all(|a| !matches!(a, Action::SendBlock { .. })));
+    }
+
+    #[test]
+    fn tracker_dialing_respects_limits() {
+        let cfg = Config {
+            max_initiated: 3,
+            ..Config::default()
+        };
+        let mut e = Engine::new(
+            cfg,
+            geometry(),
+            DataMode::Virtual,
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 5),
+            IpAddr(50),
+            Bitfield::new(4),
+            5,
+        );
+        let peers: Vec<PeerEntry> = (1..10)
+            .map(|i| PeerEntry {
+                ip: IpAddr(i),
+                port: 6881,
+            })
+            .collect();
+        e.on_tracker_response(Instant::ZERO, peers);
+        let dials = e
+            .drain_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Connect { .. }))
+            .count();
+        assert_eq!(dials, 3);
+        // A failed dial frees a slot and redials.
+        e.on_connect_failed(Instant::ZERO);
+        let redials = e
+            .drain_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Connect { .. }))
+            .count();
+        assert_eq!(redials, 1);
+    }
+
+    #[test]
+    fn self_and_duplicate_candidates_skipped() {
+        let mut e = leecher(6);
+        let own_ip = e.ip();
+        e.on_tracker_response(
+            Instant::ZERO,
+            vec![
+                PeerEntry {
+                    ip: own_ip,
+                    port: 1,
+                },
+                PeerEntry {
+                    ip: IpAddr(9),
+                    port: 1,
+                },
+            ],
+        );
+        let dials: Vec<Action> = e
+            .drain_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Connect { .. }))
+            .collect();
+        assert_eq!(dials.len(), 1);
+        assert!(matches!(&dials[0], Action::Connect { peer } if peer.ip == IpAddr(9)));
+    }
+
+    #[test]
+    fn malformed_bitfield_drops_peer() {
+        let mut e = leecher(1);
+        let t = Instant::ZERO;
+        let id = e
+            .on_peer_connected(
+                t,
+                IpAddr(7),
+                PeerId::new(ClientKind::Azureus, 7),
+                false,
+                PeerCaps::default(),
+            )
+            .unwrap();
+        e.on_message(t, id, Message::Bitfield(vec![0xFF, 0xFF, 0xFF]));
+        let acts = e.drain_actions();
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Disconnect { conn } if *conn == id)));
+        assert_eq!(e.peer_set_size(), 0);
+    }
+
+    #[test]
+    fn remote_choke_drops_outstanding_requests() {
+        let mut e = leecher(1);
+        let t = Instant::from_secs(1);
+        let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
+        e.on_message(t, id, Message::Unchoke);
+        let _ = e.drain_actions();
+        e.on_message(t, id, Message::Choke);
+        // After re-unchoke the pipeline refills from scratch.
+        e.on_message(t, id, Message::Unchoke);
+        let acts = e.drain_actions();
+        let reqs = acts
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Message::Request(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(reqs, 8);
+    }
+
+    fn fast_engine(seed: u64, pieces: Bitfield) -> Engine {
+        let cfg = Config {
+            fast_extension: true,
+            ..Config::default()
+        };
+        Engine::new(
+            cfg,
+            geometry(),
+            DataMode::Virtual,
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, seed),
+            IpAddr(200 + seed as u32),
+            pieces,
+            seed,
+        )
+    }
+
+    #[test]
+    fn fast_negotiation_sends_grants_and_compact_maps() {
+        let mut seed_engine = fast_engine(1, Bitfield::full(4));
+        let t = Instant::ZERO;
+        let id = seed_engine
+            .on_peer_connected(
+                t,
+                IpAddr(7),
+                PeerId::new(ClientKind::Azureus, 7),
+                false,
+                PeerCaps {
+                    fast: true,
+                    extended: false,
+                },
+            )
+            .unwrap();
+        let acts = seed_engine.drain_actions();
+        // A complete fast peer advertises HaveAll, not a bitfield.
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Send { conn, msg: Message::HaveAll } if *conn == id)));
+        assert!(!acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::Bitfield(_),
+                ..
+            }
+        )));
+        let grants: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: Message::AllowedFast(p),
+                    ..
+                } => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants.len(), 4, "default allowed-fast count");
+        assert_eq!(
+            grants,
+            seed_engine.connection(id).unwrap().allowed_fast_sent,
+            "grants recorded on the connection"
+        );
+    }
+
+    #[test]
+    fn fast_disabled_when_remote_lacks_it() {
+        let mut e = fast_engine(2, Bitfield::new(4));
+        let id = e
+            .on_peer_connected(
+                Instant::ZERO,
+                IpAddr(7),
+                PeerId::new(ClientKind::Azureus, 7),
+                false,
+                PeerCaps::default(),
+            )
+            .unwrap();
+        assert!(!e.connection(id).unwrap().fast);
+        let acts = e.drain_actions();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::Bitfield(_),
+                ..
+            }
+        )));
+        assert!(!acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::AllowedFast(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn allowed_fast_requests_served_while_choked() {
+        let mut seed_engine = fast_engine(3, Bitfield::full(4));
+        let t = Instant::ZERO;
+        let id = seed_engine
+            .on_peer_connected(
+                t,
+                IpAddr(7),
+                PeerId::new(ClientKind::Azureus, 7),
+                false,
+                PeerCaps {
+                    fast: true,
+                    extended: false,
+                },
+            )
+            .unwrap();
+        let granted = seed_engine
+            .connection(id)
+            .unwrap()
+            .allowed_fast_sent
+            .clone();
+        let _ = seed_engine.drain_actions();
+        seed_engine.on_message(t, id, Message::Bitfield(Bitfield::new(4).to_wire()));
+        let _ = seed_engine.drain_actions();
+        // Request a granted piece while choked → served.
+        let ok_block = geometry().block_ref(granted[0], 0);
+        seed_engine.on_message(t, id, Message::Request(ok_block));
+        let acts = seed_engine.drain_actions();
+        assert!(acts.contains(&Action::SendBlock {
+            conn: id,
+            block: ok_block
+        }));
+        // Request a non-granted piece while choked → explicit reject.
+        let other = (0..4).find(|p| !granted.contains(p));
+        if let Some(p) = other {
+            let bad_block = geometry().block_ref(p, 0);
+            seed_engine.on_message(t, id, Message::Request(bad_block));
+            let acts = seed_engine.drain_actions();
+            assert!(acts.iter().any(|a| matches!(
+                a,
+                Action::Send { msg: Message::RejectRequest(b), .. } if *b == bad_block
+            )));
+            assert!(!acts.iter().any(|a| matches!(a, Action::SendBlock { .. })));
+        }
+    }
+
+    #[test]
+    fn allowed_fast_grant_bootstraps_choked_download() {
+        let mut e = fast_engine(4, Bitfield::new(4));
+        let t = Instant::ZERO;
+        let id = e
+            .on_peer_connected(
+                t,
+                IpAddr(7),
+                PeerId::new(ClientKind::Azureus, 7),
+                false,
+                PeerCaps {
+                    fast: true,
+                    extended: false,
+                },
+            )
+            .unwrap();
+        e.on_message(t, id, Message::HaveAll);
+        let _ = e.drain_actions();
+        // Still choked, but the remote grants piece 2: requests flow for
+        // exactly that piece.
+        e.on_message(t, id, Message::AllowedFast(2));
+        let acts = e.drain_actions();
+        let reqs: Vec<BlockRef> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: Message::Request(b),
+                    ..
+                } => Some(*b),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !reqs.is_empty(),
+            "choked peer must request allowed-fast piece"
+        );
+        assert!(
+            reqs.iter().all(|b| b.piece == 2),
+            "only the granted piece: {reqs:?}"
+        );
+    }
+
+    #[test]
+    fn reject_releases_block_for_rerequest() {
+        let mut e = fast_engine(5, Bitfield::new(4));
+        let t = Instant::ZERO;
+        let id = e
+            .on_peer_connected(
+                t,
+                IpAddr(7),
+                PeerId::new(ClientKind::Azureus, 7),
+                false,
+                PeerCaps {
+                    fast: true,
+                    extended: false,
+                },
+            )
+            .unwrap();
+        e.on_message(t, id, Message::HaveAll);
+        e.on_message(t, id, Message::AllowedFast(1));
+        let reqs: Vec<BlockRef> = e
+            .drain_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: Message::Request(b),
+                    ..
+                } => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert!(!reqs.is_empty());
+        // The remote rejects the first request; after an unchoke the same
+        // block is requested again.
+        e.on_message(t, id, Message::RejectRequest(reqs[0]));
+        e.on_message(t, id, Message::Unchoke);
+        let again: Vec<BlockRef> = e
+            .drain_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: Message::Request(b),
+                    ..
+                } => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            again.contains(&reqs[0]),
+            "rejected block must be re-requested"
+        );
+    }
+
+    #[test]
+    fn pex_handshake_and_gossip() {
+        let mk = |seed: u64, ip: u32| {
+            let cfg = Config {
+                pex_enabled: true,
+                ..Config::default()
+            };
+            Engine::new(
+                cfg,
+                geometry(),
+                DataMode::Virtual,
+                [9u8; 20],
+                PeerId::new(ClientKind::Mainline402, seed),
+                IpAddr(ip),
+                Bitfield::new(4),
+                seed,
+            )
+        };
+        let mut e = mk(1, 50);
+        let caps = PeerCaps {
+            fast: false,
+            extended: true,
+        };
+        let t = Instant::ZERO;
+        let a = e
+            .on_peer_connected(
+                t,
+                IpAddr(60),
+                PeerId::new(ClientKind::LibTorrent, 6),
+                false,
+                caps,
+            )
+            .unwrap();
+        // The engine advertises ut_pex in its extension handshake.
+        let acts = e.drain_actions();
+        let ext_hs = acts.iter().find_map(|x| match x {
+            Action::Send {
+                msg: Message::Extended { ext_id: 0, payload },
+                ..
+            } => Some(payload.clone()),
+            _ => None,
+        });
+        let hs = bt_wire::extension::ExtendedHandshake::decode(&ext_hs.expect("handshake sent"))
+            .unwrap();
+        assert_eq!(hs.ut_pex_id(), Some(bt_wire::extension::UT_PEX_LOCAL_ID));
+        // The remote replies with its own handshake advertising pex id 1.
+        e.on_message(
+            t,
+            a,
+            Message::Extended {
+                ext_id: 0,
+                payload: bt_wire::extension::ExtendedHandshake::with_pex().encode(),
+            },
+        );
+        // Connect a second peer, then run a rechoke past the pex interval:
+        // the first peer is gossiped the second's address.
+        let _b = e
+            .on_peer_connected(
+                t,
+                IpAddr(61),
+                PeerId::new(ClientKind::Azureus, 7),
+                false,
+                caps,
+            )
+            .unwrap();
+        let _ = e.drain_actions();
+        e.rechoke(Instant::from_secs(70));
+        let acts = e.drain_actions();
+        let pex = acts.iter().find_map(|x| match x {
+            Action::Send {
+                conn,
+                msg: Message::Extended { ext_id: 1, payload },
+            } if *conn == a => Some(payload.clone()),
+            _ => None,
+        });
+        let pex = bt_wire::extension::PexPayload::decode(&pex.expect("gossip sent")).unwrap();
+        assert_eq!(pex.added.len(), 1);
+        assert_eq!(pex.added[0].ip, IpAddr(61), "peer A learns about peer B");
+        // Receiving gossip about an unknown peer triggers a dial.
+        let payload = bt_wire::extension::PexPayload {
+            added: vec![bt_wire::tracker::PeerEntry {
+                ip: IpAddr(99),
+                port: 6881,
+            }],
+            dropped: vec![],
+        }
+        .encode();
+        e.on_message(t, a, Message::Extended { ext_id: 1, payload });
+        let acts = e.drain_actions();
+        assert!(
+            acts.iter()
+                .any(|x| matches!(x, Action::Connect { peer } if peer.ip == IpAddr(99))),
+            "pex-learned peer must be dialled: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn pex_disabled_ignores_extended_frames() {
+        let mut e = leecher(1);
+        let t = Instant::ZERO;
+        let id = connect_peer(&mut e, t, 7, &[0]);
+        let _ = e.drain_actions();
+        e.on_message(
+            t,
+            id,
+            Message::Extended {
+                ext_id: 1,
+                payload: bt_wire::extension::PexPayload {
+                    added: vec![bt_wire::tracker::PeerEntry {
+                        ip: IpAddr(99),
+                        port: 6881,
+                    }],
+                    dropped: vec![],
+                }
+                .encode(),
+            },
+        );
+        assert!(
+            e.drain_actions().is_empty(),
+            "un-negotiated extension frames are ignored"
+        );
+    }
+
+    #[test]
+    fn super_seed_reveals_one_piece_at_a_time() {
+        let cfg = Config {
+            super_seed: true,
+            ..Config::default()
+        };
+        let mut e = Engine::new(
+            cfg,
+            geometry(),
+            DataMode::Virtual,
+            [9u8; 20],
+            PeerId::new(ClientKind::SuperSeeder, 1),
+            IpAddr(1),
+            Bitfield::full(4),
+            1,
+        );
+        let t = Instant::ZERO;
+        let a = e
+            .on_peer_connected(
+                t,
+                IpAddr(2),
+                PeerId::new(ClientKind::Azureus, 2),
+                false,
+                PeerCaps::default(),
+            )
+            .unwrap();
+        let acts = e.drain_actions();
+        // An empty bitfield (not the real one), plus exactly one Have.
+        let haves: Vec<u32> = acts
+            .iter()
+            .filter_map(|x| match x {
+                Action::Send {
+                    msg: Message::Have(p),
+                    ..
+                } => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(haves.len(), 1, "exactly one reveal on connect: {acts:?}");
+        let bitfields: Vec<&Vec<u8>> = acts
+            .iter()
+            .filter_map(|x| match x {
+                Action::Send {
+                    msg: Message::Bitfield(b),
+                    ..
+                } => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            bitfields.iter().all(|b| b.iter().all(|byte| *byte == 0)),
+            "super seed must hide its pieces"
+        );
+        // A second peer is offered a *different* piece (least-revealed).
+        let b = e
+            .on_peer_connected(
+                t,
+                IpAddr(3),
+                PeerId::new(ClientKind::BitComet, 3),
+                false,
+                PeerCaps::default(),
+            )
+            .unwrap();
+        let haves2: Vec<u32> = e
+            .drain_actions()
+            .iter()
+            .filter_map(|x| match x {
+                Action::Send {
+                    conn,
+                    msg: Message::Have(p),
+                } if *conn == b => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(haves2.len(), 1);
+        assert_ne!(haves2[0], haves[0], "second peer gets a different piece");
+        // When peer A confirms the revealed piece, the next one is offered.
+        e.on_message(t, a, Message::Bitfield(Bitfield::new(4).to_wire()));
+        let _ = e.drain_actions();
+        e.on_message(t, a, Message::Have(haves[0]));
+        let haves3: Vec<u32> = e
+            .drain_actions()
+            .iter()
+            .filter_map(|x| match x {
+                Action::Send {
+                    conn,
+                    msg: Message::Have(p),
+                } if *conn == a => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(haves3.len(), 1, "confirmation triggers the next reveal");
+        assert_ne!(haves3[0], haves[0]);
+    }
+
+    #[test]
+    fn recorder_captures_session() {
+        let meta = TraceMeta {
+            torrent: "unit".into(),
+            torrent_id: 0,
+            num_pieces: 4,
+            num_blocks: 8,
+            initial_seeds: 1,
+            initial_leechers: 1,
+            session_end: Instant::from_secs(100),
+            seed_at: None,
+        };
+        let mut e = leecher(1).with_recorder(meta);
+        let t = Instant::from_secs(1);
+        let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
+        e.on_message(t, id, Message::Unchoke);
+        let trace = e.take_trace().unwrap();
+        assert!(trace
+            .iter()
+            .any(|(_, ev)| matches!(ev, TraceEvent::PeerJoined { peer, .. } if *peer == id)));
+        assert!(trace.iter().any(|(_, ev)| matches!(
+            ev,
+            TraceEvent::LocalInterest {
+                interested: true,
+                ..
+            }
+        )));
+    }
+}

@@ -1,0 +1,28 @@
+//! # bt-core — the BitTorrent client engine
+//!
+//! A complete, transport-agnostic implementation of the client the paper
+//! instruments (mainline 4.0.2 semantics): peer-set management, interest
+//! tracking, request pipelining with strict priority and end game mode,
+//! hash verification, and the choke algorithm in leecher and seed state.
+//!
+//! * [`config`] — the §III-C default parameters;
+//! * [`connection`] — per-peer protocol state;
+//! * [`content`] — real-bytes vs. metadata-only data modes;
+//! * [`engine`] — the [`engine::Engine`] state machine and its
+//!   [`engine::Action`] effect type.
+//!
+//! The engine contains no clock, no sockets and no randomness source of
+//! its own beyond a seeded PRNG, so identical inputs produce identical
+//! outputs — the property the simulator and the regression tests rely on.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod connection;
+pub mod content;
+pub mod engine;
+
+pub use config::Config;
+pub use connection::{ConnId, Connection};
+pub use content::{DataMode, PieceBuffer};
+pub use engine::{Action, Engine, PeerCaps};

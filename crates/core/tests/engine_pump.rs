@@ -1,0 +1,262 @@
+//! Two engines wired directly together through an in-process message
+//! pump — no simulator, no sockets. Checks conversation-level protocol
+//! invariants that unit tests on a single engine cannot see.
+
+use bt_core::engine::PeerCaps;
+use bt_core::{Action, Config, ConnId, DataMode, Engine};
+use bt_piece::{Bitfield, Geometry};
+use bt_wire::message::{Message, MessageKind};
+use bt_wire::metainfo::{SyntheticContent, BLOCK_LEN};
+use bt_wire::peer_id::{ClientKind, IpAddr, PeerId};
+use bt_wire::time::{Duration, Instant};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A two-engine harness with explicit message queues.
+struct Pump {
+    a: Engine,
+    b: Engine,
+    conn_a: ConnId, // A's handle for B
+    conn_b: ConnId, // B's handle for A
+    to_b: VecDeque<Message>,
+    to_a: VecDeque<Message>,
+    content: Arc<SyntheticContent>,
+    now: Instant,
+    /// Every message that crossed in either direction, for assertions.
+    log: Vec<(bool, MessageKind)>, // (a_to_b, kind)
+}
+
+impl Pump {
+    fn new(pieces: u32, a_cfg: Config, b_cfg: Config, a_seed_full: bool) -> Pump {
+        let content = Arc::new(SyntheticContent::generate(
+            "pump",
+            3,
+            u64::from(pieces) * u64::from(2 * BLOCK_LEN),
+            2 * BLOCK_LEN,
+        ));
+        let geometry = Geometry::from(&content.metainfo);
+        let hash = content.metainfo.info_hash;
+        let a_caps = {
+            let e = Engine::new(
+                a_cfg.clone(),
+                geometry,
+                DataMode::Real(content.clone()),
+                hash,
+                PeerId::new(ClientKind::Mainline402, 1),
+                IpAddr(1),
+                Bitfield::new(pieces),
+                1,
+            );
+            PeerCaps::from_reserved(&e.handshake_reserved())
+        };
+        let b_caps_probe = {
+            let e = Engine::new(
+                b_cfg.clone(),
+                geometry,
+                DataMode::Real(content.clone()),
+                hash,
+                PeerId::new(ClientKind::Mainline402, 2),
+                IpAddr(2),
+                Bitfield::new(pieces),
+                2,
+            );
+            PeerCaps::from_reserved(&e.handshake_reserved())
+        };
+        let a_pieces = if a_seed_full {
+            Bitfield::full(pieces)
+        } else {
+            Bitfield::new(pieces)
+        };
+        let mut a = Engine::new(
+            a_cfg,
+            geometry,
+            DataMode::Real(content.clone()),
+            hash,
+            PeerId::new(ClientKind::Mainline402, 1),
+            IpAddr(1),
+            a_pieces,
+            1,
+        );
+        let mut b = Engine::new(
+            b_cfg,
+            geometry,
+            DataMode::Real(content.clone()),
+            hash,
+            PeerId::new(ClientKind::Mainline402, 2),
+            IpAddr(2),
+            Bitfield::new(pieces),
+            2,
+        );
+        let now = Instant::ZERO;
+        let conn_a = a
+            .on_peer_connected(now, IpAddr(2), b.peer_id(), false, b_caps_probe)
+            .expect("A accepts B");
+        let conn_b = b
+            .on_peer_connected(now, IpAddr(1), a.peer_id(), true, a_caps)
+            .expect("B accepts A");
+        Pump {
+            a,
+            b,
+            conn_a,
+            conn_b,
+            to_b: VecDeque::new(),
+            to_a: VecDeque::new(),
+            content,
+            now,
+            log: Vec::new(),
+        }
+    }
+
+    /// Drain both engines' actions into the queues, materialising blocks.
+    fn collect(&mut self) {
+        let content = self.content.clone();
+        for (is_a, conn) in [(true, self.conn_a), (false, self.conn_b)] {
+            let engine = if is_a { &mut self.a } else { &mut self.b };
+            for action in engine.drain_actions() {
+                match action {
+                    Action::Send { msg, .. } => {
+                        if is_a {
+                            self.to_b.push_back(msg);
+                        } else {
+                            self.to_a.push_back(msg);
+                        }
+                    }
+                    Action::SendBlock { block, .. } => {
+                        let data = content.block_bytes(block.piece, block.block_index());
+                        engine.on_block_sent(self.now, conn, block);
+                        let msg = Message::Piece {
+                            block,
+                            data: data.into(),
+                        };
+                        if is_a {
+                            self.to_b.push_back(msg);
+                        } else {
+                            self.to_a.push_back(msg);
+                        }
+                    }
+                    // No transport queues to cancel from in this pump.
+                    Action::CancelBlock { .. } => {}
+                    Action::Announce { .. } | Action::Connect { .. } => {}
+                    Action::Disconnect { .. } => {}
+                }
+            }
+        }
+    }
+
+    /// Deliver every queued message, then re-collect, until quiescent.
+    fn settle(&mut self) {
+        loop {
+            self.collect();
+            if self.to_a.is_empty() && self.to_b.is_empty() {
+                break;
+            }
+            while let Some(msg) = self.to_b.pop_front() {
+                self.log.push((true, msg.kind()));
+                self.b.on_message(self.now, self.conn_b, msg);
+            }
+            while let Some(msg) = self.to_a.pop_front() {
+                self.log.push((false, msg.kind()));
+                self.a.on_message(self.now, self.conn_a, msg);
+            }
+        }
+    }
+
+    fn tick(&mut self, secs: u64) {
+        self.now += Duration::from_secs(secs);
+    }
+}
+
+/// A seed and a fresh leecher: after one rechoke the leecher drains the
+/// whole torrent through the pump, hash-verifying every piece.
+#[test]
+fn seed_to_leecher_full_transfer() {
+    let mut p = Pump::new(4, Config::default(), Config::default(), true);
+    p.settle(); // bitfields + interested
+                // The leecher (B) must have declared interest; the seed must not.
+    assert!(p.log.contains(&(false, MessageKind::Interested)));
+    assert!(!p.log.contains(&(true, MessageKind::Interested)));
+    // No requests can flow while B is choked (base protocol).
+    assert!(!p.log.contains(&(false, MessageKind::Request)));
+    // After the seed's rechoke, everything drains.
+    p.tick(10);
+    p.a.rechoke(p.now);
+    p.settle();
+    assert!(p.b.is_seed(), "leecher must complete through the pump");
+    assert_eq!(p.b.num_pieces_have(), 4);
+    // The conversation ended with B no longer interested.
+    assert!(p.log.contains(&(false, MessageKind::NotInterested)));
+}
+
+/// Message-order sanity: the first payload-bearing message each side
+/// sends is its bitfield (or compact map), before anything else.
+#[test]
+fn bitfield_always_first() {
+    let mut p = Pump::new(4, Config::default(), Config::default(), true);
+    p.settle();
+    let first_a_to_b = p.log.iter().find(|(a2b, _)| *a2b).map(|(_, k)| *k);
+    let first_b_to_a = p.log.iter().find(|(a2b, _)| !*a2b).map(|(_, k)| *k);
+    assert_eq!(first_a_to_b, Some(MessageKind::Bitfield));
+    assert_eq!(first_b_to_a, Some(MessageKind::Bitfield));
+}
+
+/// With the Fast Extension on both sides, the leecher pulls allowed-fast
+/// pieces *before any unchoke ever happens*.
+#[test]
+fn fast_extension_transfers_before_unchoke() {
+    let cfg = Config {
+        fast_extension: true,
+        ..Config::default()
+    };
+    let mut p = Pump::new(8, cfg.clone(), cfg, true);
+    p.settle(); // handshakes, HaveAll, AllowedFast grants, choked requests
+    assert!(
+        !p.log.contains(&(true, MessageKind::Unchoke)),
+        "no rechoke has run, so no unchoke can exist"
+    );
+    let pieces_received = p.b.num_pieces_have();
+    assert!(
+        pieces_received > 0,
+        "allowed-fast pieces must flow while fully choked"
+    );
+    assert!(
+        pieces_received < 8,
+        "only the granted pieces may flow while choked"
+    );
+    // The rest requires a real unchoke.
+    p.tick(10);
+    p.a.rechoke(p.now);
+    p.settle();
+    assert!(p.b.is_seed());
+}
+
+/// Two empty leechers exchange nothing, and nobody ever sends `piece`.
+#[test]
+fn two_empty_leechers_stay_quiescent() {
+    let mut p = Pump::new(4, Config::default(), Config::default(), false);
+    p.settle();
+    p.tick(10);
+    p.a.rechoke(p.now);
+    p.b.rechoke(p.now);
+    p.settle();
+    assert_eq!(p.a.num_pieces_have(), 0);
+    assert_eq!(p.b.num_pieces_have(), 0);
+    assert!(!p.log.iter().any(|(_, k)| *k == MessageKind::Piece));
+    assert!(!p.log.iter().any(|(_, k)| *k == MessageKind::Interested));
+}
+
+/// A free-riding seed never serves even when asked nicely.
+#[test]
+fn free_riding_seed_serves_nothing() {
+    let mut p = Pump::new(4, Config::free_rider(), Config::default(), true);
+    p.settle();
+    for round in 1..=6u64 {
+        p.tick(10 * round);
+        p.a.rechoke(p.now);
+        p.settle();
+    }
+    assert_eq!(p.b.num_pieces_have(), 0);
+    assert!(!p
+        .log
+        .iter()
+        .any(|(a2b, k)| *a2b && *k == MessageKind::Piece));
+}

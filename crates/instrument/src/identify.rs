@@ -1,0 +1,230 @@
+//! Peer identification and de-duplication.
+//!
+//! §III-D: peers are uniquely identified by IP address and peer ID, but
+//! the random part of the peer ID changes on restart, so the paper deems
+//! two observations the same peer when they share `(IP, client ID)`. The
+//! paper also filters "misbehaving" peers that stay under 10 seconds in
+//! the peer set before computing entropy (§IV-A.1); that filter lives in
+//! `bt-analysis`, built on the membership intervals this module produces.
+
+use crate::trace::{PeerHandle, Trace, TraceEvent};
+use bt_wire::peer_id::{IpAddr, PeerId};
+use bt_wire::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A unique peer after (IP, client ID) de-duplication.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UniquePeer {
+    /// The peer's IP address.
+    pub ip: IpAddr,
+    /// The client-ID prefix of its peer ID (e.g. `"M4-0-2--"`).
+    pub client_id: String,
+}
+
+/// One connection's identity and membership interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Membership {
+    /// Connection handle in the trace.
+    pub handle: PeerHandle,
+    /// De-duplicated peer identity.
+    pub peer: UniquePeer,
+    /// Raw peer ID presented in the handshake.
+    pub peer_id: PeerId,
+    /// When the connection entered the peer set.
+    pub joined: Instant,
+    /// When it left (session end if it never left).
+    pub left: Instant,
+    /// Pieces the peer had on arrival.
+    pub pieces_on_arrival: u32,
+}
+
+impl Membership {
+    /// Length of the membership interval in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.left - self.joined).as_secs_f64()
+    }
+
+    /// True if the peer arrived already holding every piece (a seed).
+    pub fn arrived_as_seed(&self, total_pieces: u32) -> bool {
+        self.pieces_on_arrival == total_pieces
+    }
+}
+
+/// The registry of connections observed in a trace.
+#[derive(Debug, Clone, Default)]
+pub struct PeerRegistry {
+    /// All membership intervals, in join order.
+    pub memberships: Vec<Membership>,
+}
+
+impl PeerRegistry {
+    /// Build the registry by scanning a trace's join/leave events.
+    pub fn from_trace(trace: &Trace) -> PeerRegistry {
+        let mut open: HashMap<PeerHandle, usize> = HashMap::new();
+        let mut memberships = Vec::new();
+        for (t, ev) in trace.iter() {
+            match ev {
+                TraceEvent::PeerJoined {
+                    peer,
+                    ip,
+                    peer_id,
+                    pieces_on_arrival,
+                    ..
+                } => {
+                    open.insert(*peer, memberships.len());
+                    memberships.push(Membership {
+                        handle: *peer,
+                        peer: UniquePeer {
+                            ip: *ip,
+                            client_id: peer_id.client_id(),
+                        },
+                        peer_id: *peer_id,
+                        joined: t,
+                        left: trace.meta.session_end,
+                        pieces_on_arrival: *pieces_on_arrival,
+                    });
+                }
+                TraceEvent::PeerLeft { peer } => {
+                    if let Some(idx) = open.remove(peer) {
+                        memberships[idx].left = t;
+                    }
+                }
+                _ => {}
+            }
+        }
+        PeerRegistry { memberships }
+    }
+
+    /// Membership record for a connection handle (first match).
+    pub fn membership(&self, handle: PeerHandle) -> Option<&Membership> {
+        self.memberships.iter().find(|m| m.handle == handle)
+    }
+
+    /// Number of *unique* peers per §III-D's `(IP, client ID)` rule.
+    pub fn unique_peers(&self) -> usize {
+        let set: std::collections::HashSet<&UniquePeer> =
+            self.memberships.iter().map(|m| &m.peer).collect();
+        set.len()
+    }
+
+    /// Fraction of IP addresses associated with more than one peer ID —
+    /// the paper reports 0–26 % with a mean around 9 % (§III-D, fn. 3).
+    pub fn multi_id_ip_fraction(&self) -> f64 {
+        let mut ids_per_ip: HashMap<IpAddr, std::collections::HashSet<PeerId>> = HashMap::new();
+        for m in &self.memberships {
+            ids_per_ip.entry(m.peer.ip).or_default().insert(m.peer_id);
+        }
+        if ids_per_ip.is_empty() {
+            return 0.0;
+        }
+        let multi = ids_per_ip.values().filter(|s| s.len() > 1).count();
+        multi as f64 / ids_per_ip.len() as f64
+    }
+
+    /// Memberships that last at least `min_secs` — the paper's 10-second
+    /// noise filter (§IV-A.1).
+    pub fn filtered(&self, min_secs: f64) -> Vec<&Membership> {
+        self.memberships
+            .iter()
+            .filter(|m| m.duration_secs() >= min_secs)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceMeta;
+    use bt_wire::peer_id::ClientKind;
+
+    fn trace_with_peers() -> Trace {
+        let meta = TraceMeta {
+            torrent: "x".into(),
+            torrent_id: 1,
+            num_pieces: 10,
+            num_blocks: 160,
+            initial_seeds: 1,
+            initial_leechers: 5,
+            session_end: Instant::from_secs(1000),
+            seed_at: None,
+        };
+        let mut tr = Trace::new(meta);
+        // Peer 0: joins at 0, leaves at 5 (noise, < 10 s).
+        tr.push(
+            Instant::from_secs(0),
+            TraceEvent::PeerJoined {
+                peer: 0,
+                ip: IpAddr(1),
+                peer_id: PeerId::new(ClientKind::Azureus, 1),
+                pieces_on_arrival: 0,
+                total_pieces: 10,
+            },
+        );
+        // Peer 1: joins at 0, stays to session end.
+        tr.push(
+            Instant::from_secs(0),
+            TraceEvent::PeerJoined {
+                peer: 1,
+                ip: IpAddr(2),
+                peer_id: PeerId::new(ClientKind::Mainline402, 2),
+                pieces_on_arrival: 10,
+                total_pieces: 10,
+            },
+        );
+        tr.push(Instant::from_secs(5), TraceEvent::PeerLeft { peer: 0 });
+        // Peer 0 reconnects with a fresh random suffix (client restart).
+        tr.push(
+            Instant::from_secs(20),
+            TraceEvent::PeerJoined {
+                peer: 2,
+                ip: IpAddr(1),
+                peer_id: PeerId::new(ClientKind::Azureus, 99),
+                pieces_on_arrival: 3,
+                total_pieces: 10,
+            },
+        );
+        tr
+    }
+
+    #[test]
+    fn membership_intervals() {
+        let tr = trace_with_peers();
+        let reg = PeerRegistry::from_trace(&tr);
+        assert_eq!(reg.memberships.len(), 3);
+        let m0 = reg.membership(0).unwrap();
+        assert_eq!(m0.duration_secs(), 5.0);
+        let m1 = reg.membership(1).unwrap();
+        assert_eq!(
+            m1.left,
+            Instant::from_secs(1000),
+            "open membership closes at session end"
+        );
+        assert!(m1.arrived_as_seed(10));
+    }
+
+    #[test]
+    fn dedup_by_ip_and_client_id() {
+        let tr = trace_with_peers();
+        let reg = PeerRegistry::from_trace(&tr);
+        // Handles 0 and 2 share (IP 1, Azureus) → same unique peer.
+        assert_eq!(reg.unique_peers(), 2);
+    }
+
+    #[test]
+    fn multi_id_fraction() {
+        let tr = trace_with_peers();
+        let reg = PeerRegistry::from_trace(&tr);
+        // IP 1 carries two peer IDs, IP 2 one → 1/2.
+        assert!((reg.multi_id_ip_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_second_filter() {
+        let tr = trace_with_peers();
+        let reg = PeerRegistry::from_trace(&tr);
+        let kept = reg.filtered(10.0);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|m| m.handle != 0));
+    }
+}

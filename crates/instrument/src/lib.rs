@@ -1,0 +1,15 @@
+//! # bt-instrument — local-peer instrumentation
+//!
+//! The measurement apparatus of the reproduction: the paper instruments a
+//! single mainline 4.0.2 client and logs all messages, choke state
+//! changes, rate estimates and lifecycle events (§III-C). This crate
+//! defines that trace schema ([`trace`]) and the peer identification /
+//! de-duplication rules of §III-D ([`identify`]).
+
+#![warn(missing_docs)]
+
+pub mod identify;
+pub mod trace;
+
+pub use identify::{Membership, PeerRegistry, UniquePeer};
+pub use trace::{LocalState, PeerHandle, Trace, TraceEvent, TraceMeta, UnchokeRole};

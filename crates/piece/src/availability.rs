@@ -1,0 +1,212 @@
+//! Piece availability within the local peer set.
+//!
+//! §II-C.1: "Each peer maintains a list of the number of copies of each
+//! piece in its peer set. It uses this information to define a rarest
+//! pieces set. Let m be the number of copies of the rarest piece, then the
+//! index of each piece with m copies in the peer set is added to the rarest
+//! pieces set. The rarest pieces set of a peer is updated each time a copy
+//! of a piece is added to or removed from its peer set."
+//!
+//! [`Availability`] maintains those counts incrementally from bitfield /
+//! have / disconnect events, and exposes the *rarest pieces set* and the
+//! min/mean/max statistics that figures 2–4 and 6 of the paper plot.
+
+use crate::bitfield::Bitfield;
+use serde::{Deserialize, Serialize};
+
+/// Per-piece copy counts over the current peer set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Availability {
+    counts: Vec<u32>,
+}
+
+/// Snapshot statistics over the per-piece copy counts (figure 2/4 series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Copies of the least replicated piece.
+    pub min: u32,
+    /// Mean copies over all pieces.
+    pub mean: f64,
+    /// Copies of the most replicated piece.
+    pub max: u32,
+}
+
+impl Availability {
+    /// Zero counts for `num_pieces` pieces.
+    pub fn new(num_pieces: u32) -> Availability {
+        Availability {
+            counts: vec![0; num_pieces as usize],
+        }
+    }
+
+    /// Number of pieces tracked.
+    pub fn num_pieces(&self) -> u32 {
+        self.counts.len() as u32
+    }
+
+    /// Copies of piece `index` in the peer set.
+    pub fn count(&self, index: u32) -> u32 {
+        self.counts[index as usize]
+    }
+
+    /// A peer joined the peer set with bitfield `bf`.
+    pub fn add_peer(&mut self, bf: &Bitfield) {
+        debug_assert_eq!(bf.len(), self.num_pieces());
+        for i in bf.iter_ones() {
+            self.counts[i as usize] += 1;
+        }
+    }
+
+    /// A peer left the peer set; remove its contribution.
+    pub fn remove_peer(&mut self, bf: &Bitfield) {
+        debug_assert_eq!(bf.len(), self.num_pieces());
+        for i in bf.iter_ones() {
+            let c = &mut self.counts[i as usize];
+            debug_assert!(*c > 0, "removing peer with piece {i} not counted");
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// A peer in the set announced a new piece (`have` message).
+    pub fn add_have(&mut self, index: u32) {
+        self.counts[index as usize] += 1;
+    }
+
+    /// Copies of the rarest piece (`m` in the paper's definition).
+    pub fn min_count(&self) -> u32 {
+        self.counts.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The rarest pieces set: all pieces with `m` copies.
+    pub fn rarest_set(&self) -> Vec<u32> {
+        let m = self.min_count();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == m)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Size of the rarest pieces set (figure 3/6 series).
+    pub fn rarest_set_size(&self) -> u32 {
+        let m = self.min_count();
+        self.counts.iter().filter(|&&c| c == m).count() as u32
+    }
+
+    /// The rarest pieces set restricted to `candidates` (pieces the local
+    /// peer could actually request). Rarity is still computed over the
+    /// restricted set: among the candidates, those with the fewest copies.
+    pub fn rarest_among<I: IntoIterator<Item = u32>>(&self, candidates: I) -> Vec<u32> {
+        let mut best = u32::MAX;
+        let mut out = Vec::new();
+        for i in candidates {
+            let c = self.counts[i as usize];
+            match c.cmp(&best) {
+                std::cmp::Ordering::Less => {
+                    best = c;
+                    out.clear();
+                    out.push(i);
+                }
+                std::cmp::Ordering::Equal => out.push(i),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        out
+    }
+
+    /// Min/mean/max copies, the series plotted in figures 2 and 4.
+    pub fn stats(&self) -> AvailabilityStats {
+        if self.counts.is_empty() {
+            return AvailabilityStats {
+                min: 0,
+                mean: 0.0,
+                max: 0,
+            };
+        }
+        let min = *self.counts.iter().min().unwrap();
+        let max = *self.counts.iter().max().unwrap();
+        let mean =
+            self.counts.iter().map(|&c| f64::from(c)).sum::<f64>() / self.counts.len() as f64;
+        AvailabilityStats { min, mean, max }
+    }
+
+    /// True when at least one piece has zero copies in the peer set — the
+    /// local signature of a torrent in *transient state* (§IV-A.2).
+    pub fn has_missing_piece(&self) -> bool {
+        self.counts.contains(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(len: u32, ones: &[u32]) -> Bitfield {
+        let mut b = Bitfield::new(len);
+        for &i in ones {
+            b.set(i);
+        }
+        b
+    }
+
+    #[test]
+    fn add_remove_peer_is_inverse() {
+        let mut av = Availability::new(8);
+        let peer = bf(8, &[0, 3, 7]);
+        av.add_peer(&peer);
+        assert_eq!(av.count(0), 1);
+        assert_eq!(av.count(1), 0);
+        av.remove_peer(&peer);
+        assert_eq!(av.stats().max, 0);
+    }
+
+    #[test]
+    fn have_increments() {
+        let mut av = Availability::new(4);
+        av.add_have(2);
+        av.add_have(2);
+        assert_eq!(av.count(2), 2);
+    }
+
+    #[test]
+    fn rarest_set_tracks_minimum() {
+        let mut av = Availability::new(4);
+        av.add_peer(&bf(4, &[0, 1]));
+        av.add_peer(&bf(4, &[0]));
+        // counts: [2,1,0,0] → m = 0, rarest = {2,3}
+        assert_eq!(av.min_count(), 0);
+        assert_eq!(av.rarest_set(), vec![2, 3]);
+        assert_eq!(av.rarest_set_size(), 2);
+        av.add_have(2);
+        av.add_have(3);
+        // counts: [2,1,1,1] → m = 1, rarest = {1,2,3}
+        assert_eq!(av.rarest_set(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rarest_among_restricts_candidates() {
+        let mut av = Availability::new(5);
+        av.add_peer(&bf(5, &[0, 1, 2]));
+        av.add_peer(&bf(5, &[0, 1]));
+        av.add_peer(&bf(5, &[0]));
+        // counts: [3,2,1,0,0]
+        assert_eq!(av.rarest_among([0, 1, 2]), vec![2]);
+        assert_eq!(av.rarest_among([0, 1]), vec![1]);
+        assert_eq!(av.rarest_among([3, 4]), vec![3, 4]);
+        assert_eq!(av.rarest_among(std::iter::empty()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn stats_and_transient_signature() {
+        let mut av = Availability::new(3);
+        assert!(av.has_missing_piece());
+        av.add_peer(&bf(3, &[0, 1, 2]));
+        assert!(!av.has_missing_piece());
+        av.add_peer(&bf(3, &[0]));
+        let s = av.stats();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Piece/block geometry, decoupled from metainfo hashing.
+//!
+//! The scheduler and simulator only need sizes, not hashes, so this small
+//! value type carries the arithmetic. It agrees with
+//! [`bt_wire::Metainfo`]'s piece/block accessors by construction.
+
+use bt_wire::message::BlockRef;
+use bt_wire::metainfo::{Metainfo, BLOCK_LEN};
+use serde::{Deserialize, Serialize};
+
+/// Sizes of a torrent's content: total bytes and piece length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Total content length in bytes.
+    pub total_len: u64,
+    /// Bytes per piece (except possibly the last).
+    pub piece_len: u32,
+}
+
+impl Geometry {
+    /// Build from raw sizes.
+    ///
+    /// # Panics
+    /// Panics on zero sizes.
+    pub fn new(total_len: u64, piece_len: u32) -> Geometry {
+        assert!(total_len > 0 && piece_len > 0);
+        Geometry {
+            total_len,
+            piece_len,
+        }
+    }
+
+    /// Number of pieces.
+    pub fn num_pieces(&self) -> u32 {
+        self.total_len.div_ceil(u64::from(self.piece_len)) as u32
+    }
+
+    /// Size of piece `index` in bytes.
+    pub fn piece_size(&self, index: u32) -> u32 {
+        debug_assert!(index < self.num_pieces());
+        if index + 1 == self.num_pieces() {
+            (self.total_len - u64::from(self.piece_len) * u64::from(index)) as u32
+        } else {
+            self.piece_len
+        }
+    }
+
+    /// Number of 16 kB blocks in piece `index`.
+    pub fn blocks_in_piece(&self, index: u32) -> u32 {
+        self.piece_size(index).div_ceil(BLOCK_LEN)
+    }
+
+    /// Total number of blocks in the torrent.
+    pub fn total_blocks(&self) -> u64 {
+        (0..self.num_pieces())
+            .map(|p| u64::from(self.blocks_in_piece(p)))
+            .sum()
+    }
+
+    /// The [`BlockRef`] for block `block` of piece `piece`.
+    pub fn block_ref(&self, piece: u32, block: u32) -> BlockRef {
+        let piece_size = self.piece_size(piece);
+        debug_assert!(block < self.blocks_in_piece(piece));
+        let offset = block * BLOCK_LEN;
+        let length = (piece_size - offset).min(BLOCK_LEN);
+        BlockRef {
+            piece,
+            offset,
+            length,
+        }
+    }
+}
+
+impl From<&Metainfo> for Geometry {
+    fn from(m: &Metainfo) -> Geometry {
+        Geometry {
+            total_len: m.total_len,
+            piece_len: m.piece_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_metainfo() {
+        let content = bt_wire::SyntheticContent::generate("g", 3, 5 * 32 * 1024 + 1000, 32 * 1024);
+        let m = &content.metainfo;
+        let g = Geometry::from(m);
+        assert_eq!(g.num_pieces(), m.num_pieces());
+        for p in 0..g.num_pieces() {
+            assert_eq!(g.piece_size(p), m.piece_size(p));
+            assert_eq!(g.blocks_in_piece(p), m.blocks_in_piece(p));
+            for b in 0..g.blocks_in_piece(p) {
+                assert_eq!(g.block_ref(p, b).length, m.block_size(p, b));
+            }
+        }
+    }
+
+    #[test]
+    fn short_tail_block() {
+        let g = Geometry::new(BLOCK_LEN as u64 + 100, 2 * BLOCK_LEN);
+        assert_eq!(g.num_pieces(), 1);
+        assert_eq!(g.blocks_in_piece(0), 2);
+        assert_eq!(g.block_ref(0, 1).length, 100);
+        assert_eq!(g.total_blocks(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # bt-piece — piece and block bookkeeping
+//!
+//! The *piece selection* half of the paper's subject matter:
+//!
+//! * [`bitfield`] — piece maps with the BEP 3 wire encoding and the
+//!   interest relation of §II-A;
+//! * [`availability`] — per-piece copy counts over the peer set and the
+//!   rarest-pieces set of §II-C.1;
+//! * [`geometry`] — piece/block size arithmetic;
+//! * [`picker`] — the [`picker::PiecePicker`] trait with the paper's
+//!   rarest first algorithm (random first policy included) and the
+//!   baselines it is compared against (random, sequential, global-rarest
+//!   oracle);
+//! * [`scheduler`] — block-level strict priority and end game mode.
+
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod bitfield;
+pub mod geometry;
+pub mod picker;
+pub mod scheduler;
+
+pub use availability::{Availability, AvailabilityStats};
+pub use bitfield::Bitfield;
+pub use geometry::Geometry;
+pub use picker::{
+    GlobalRarest, PickContext, PickerKind, PiecePicker, RandomPicker, RarestFirst,
+    SequentialPicker, RANDOM_FIRST_THRESHOLD,
+};
+pub use scheduler::{BlockReceipt, RequestScheduler};

@@ -1,0 +1,172 @@
+//! Property-based tests for the request scheduler: under arbitrary
+//! interleavings of requests, deliveries, chokes and hash failures, the
+//! core invariants of §II-C.1 hold.
+
+use bt_piece::{Availability, Bitfield, Geometry, PickContext, RandomPicker, RequestScheduler};
+use bt_wire::metainfo::BLOCK_LEN;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+type Peer = u32;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Ask for up to `max` new requests for peer `p`.
+    Request { p: Peer, max: usize },
+    /// Deliver the `i`-th oldest outstanding block of peer `p`.
+    Deliver { p: Peer, i: usize },
+    /// Peer `p` chokes us.
+    Choke { p: Peer },
+    /// Peer `p` disconnects.
+    Gone { p: Peer },
+}
+
+fn arb_op(peers: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..peers, 1usize..12).prop_map(|(p, max)| Op::Request { p, max }),
+        4 => (0..peers, 0usize..8).prop_map(|(p, i)| Op::Deliver { p, i }),
+        1 => (0..peers).prop_map(|p| Op::Choke { p }),
+        1 => (0..peers).prop_map(|p| Op::Gone { p }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive the scheduler with arbitrary operation sequences and check:
+    /// outside end game no block is outstanding twice; every accepted
+    /// delivery is unique; completed pieces complete exactly once; and
+    /// the local bitfield ends consistent with the deliveries.
+    #[test]
+    fn scheduler_invariants(ops in proptest::collection::vec(arb_op(4), 1..120), seed in 0u64..1000) {
+        let pieces = 6u32;
+        let geometry = Geometry::new(u64::from(pieces) * u64::from(2 * BLOCK_LEN), 2 * BLOCK_LEN);
+        let mut sched: RequestScheduler<Peer> = RequestScheduler::new(geometry);
+        let mut picker = RandomPicker;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut own = Bitfield::new(pieces);
+        let mut availability = Availability::new(pieces);
+        availability.add_peer(&Bitfield::full(pieces));
+        let remote = Bitfield::full(pieces);
+
+        // Shadow state: what we believe is outstanding per peer.
+        let mut outstanding: HashMap<Peer, Vec<bt_wire::message::BlockRef>> = HashMap::new();
+        let mut received: HashSet<(u32, u32)> = HashSet::new();
+        let mut completed: HashSet<u32> = HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Request { p, max } => {
+                    let never = |_q: u32| false;
+                    let ctx = PickContext {
+                        own: &own,
+                        remote: &remote,
+                        availability: &availability,
+                        in_progress: &never,
+                        downloaded_pieces: own.count_ones(),
+                    };
+                    let reqs = sched.next_requests(p, &ctx, &mut picker, &mut rng, max);
+                    prop_assert!(reqs.len() <= max);
+                    let entry = outstanding.entry(p).or_default();
+                    for r in reqs {
+                        prop_assert!(!own.get(r.piece), "requested an owned piece");
+                        prop_assert!(!received.contains(&(r.piece, r.offset)),
+                            "requested an already received block");
+                        prop_assert!(!entry.contains(&r), "duplicate request to same peer");
+                        entry.push(r);
+                    }
+                    if !sched.in_endgame() {
+                        // Outside end game, a block is outstanding at most
+                        // once across ALL peers.
+                        let mut seen = HashSet::new();
+                        for blocks in outstanding.values() {
+                            for b in blocks {
+                                prop_assert!(seen.insert((b.piece, b.offset)),
+                                    "block outstanding twice outside endgame");
+                            }
+                        }
+                    }
+                    prop_assert_eq!(sched.outstanding_to(p), outstanding[&p].len());
+                }
+                Op::Deliver { p, i } => {
+                    let Some(blocks) = outstanding.get_mut(&p) else { continue };
+                    if blocks.is_empty() { continue; }
+                    let block = blocks.remove(i % blocks.len());
+                    let receipt = sched.on_block_received(p, block);
+                    let fresh = received.insert((block.piece, block.offset));
+                    prop_assert_eq!(receipt.accepted, fresh,
+                        "acceptance must equal novelty");
+                    for (other, cancel) in receipt.cancels {
+                        let o = outstanding.get_mut(&other).expect("cancel target known");
+                        let pos = o.iter().position(|b| *b == cancel).expect("cancel was outstanding");
+                        o.remove(pos);
+                    }
+                    if let Some(piece) = receipt.completed_piece {
+                        prop_assert!(completed.insert(piece), "piece completed twice");
+                        sched.on_piece_verified(piece);
+                        own.set(piece);
+                    }
+                }
+                Op::Choke { p } => {
+                    let dropped = sched.on_choked(p);
+                    let expected = outstanding.remove(&p).unwrap_or_default();
+                    prop_assert_eq!(dropped.len(), expected.len());
+                }
+                Op::Gone { p } => {
+                    let dropped = sched.on_peer_gone(p);
+                    let expected = outstanding.remove(&p).unwrap_or_default();
+                    prop_assert_eq!(dropped.len(), expected.len());
+                }
+            }
+        }
+        // Final consistency: every completed piece had all blocks received.
+        for piece in &completed {
+            for blk in 0..geometry.blocks_in_piece(*piece) {
+                let offset = blk * BLOCK_LEN;
+                prop_assert!(received.contains(&(*piece, offset)));
+            }
+        }
+    }
+
+    /// Driving a single peer to completion always terminates with the
+    /// full bitfield, whatever the pipeline width.
+    #[test]
+    fn single_peer_download_terminates(max in 1usize..20, seed in 0u64..500) {
+        let pieces = 5u32;
+        let geometry = Geometry::new(u64::from(pieces) * u64::from(2 * BLOCK_LEN), 2 * BLOCK_LEN);
+        let mut sched: RequestScheduler<Peer> = RequestScheduler::new(geometry);
+        let mut picker = RandomPicker;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut own = Bitfield::new(pieces);
+        let mut availability = Availability::new(pieces);
+        availability.add_peer(&Bitfield::full(pieces));
+        let remote = Bitfield::full(pieces);
+        let mut steps = 0;
+        while !own.is_complete() {
+            steps += 1;
+            prop_assert!(steps < 1000, "download did not terminate");
+            let never = |_q: u32| false;
+            let ctx = PickContext {
+                own: &own,
+                remote: &remote,
+                availability: &availability,
+                in_progress: &never,
+                downloaded_pieces: own.count_ones(),
+            };
+            let reqs = sched.next_requests(0, &ctx, &mut picker, &mut rng, max);
+            prop_assert!(!reqs.is_empty() || sched.total_outstanding() > 0,
+                "stalled with nothing outstanding");
+            for r in reqs {
+                let receipt = sched.on_block_received(0, r);
+                prop_assert!(receipt.accepted);
+                if let Some(piece) = receipt.completed_piece {
+                    sched.on_piece_verified(piece);
+                    own.set(piece);
+                }
+            }
+        }
+        prop_assert_eq!(own.count_ones(), pieces);
+    }
+}

@@ -1,0 +1,162 @@
+//! The discrete-event queue.
+//!
+//! A binary heap of timestamped events with a monotonically increasing
+//! sequence number as tie-break, so same-instant events pop in insertion
+//! order — this keeps per-link message delivery FIFO and makes whole-swarm
+//! runs bit-for-bit reproducible for a given seed.
+
+use bt_wire::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A queued entry: fire time, insertion sequence, payload.
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with FIFO tie-breaking.
+///
+/// ```
+/// use bt_sim::EventQueue;
+/// use bt_wire::time::Instant;
+/// let mut q = EventQueue::new();
+/// q.schedule(Instant::from_secs(5), "later");
+/// q.schedule(Instant::from_secs(1), "sooner");
+/// assert_eq!(q.pop().unwrap().1, "sooner");
+/// assert_eq!(q.now(), Instant::from_secs(1)); // clock follows pops
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Instant::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time (events cannot fire in
+    /// the past).
+    pub fn schedule(&mut self, at: Instant, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Pop the earliest event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Peek at the next fire time without advancing the clock.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_wire::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(5), "c");
+        q.schedule(Instant::from_secs(1), "a");
+        q.schedule(Instant::from_secs(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_secs(2);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(4), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        assert_eq!(q.peek_time(), Some(Instant::from_secs(4)));
+        q.pop();
+        assert_eq!(q.now(), Instant::from_secs(4));
+        // Scheduling relative to the new now is fine.
+        q.schedule(q.now() + Duration::from_secs(1), ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(10), ());
+        q.pop();
+        q.schedule(Instant::from_secs(5), ());
+    }
+}

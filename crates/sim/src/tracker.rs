@@ -1,0 +1,312 @@
+//! The simulated tracker.
+//!
+//! §II-B: "the tracker ... keeps track of the peers currently involved in
+//! the torrent and collects statistics". A joining peer receives "a list
+//! of IP addresses of peers ... typically 50 peers chosen at random".
+//!
+//! The model keeps the live peer registry and serves announce requests.
+//! Responses go through the *real* compact bencoded encoding and back
+//! (`bt_wire::tracker`), so the wire format is exercised on every
+//! announce.
+
+use bt_wire::peer_id::IpAddr;
+use bt_wire::tracker::{AnnounceEvent, AnnounceResponse, PeerEntry, ANNOUNCE_INTERVAL_SECS};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// Index of a peer in the swarm's peer table.
+pub type PeerIdx = usize;
+
+#[derive(Debug, Clone, Copy)]
+struct Registered {
+    ip: IpAddr,
+    port: u16,
+    is_seed: bool,
+}
+
+/// The tracker's view of one torrent.
+#[derive(Debug, Default)]
+pub struct SimTracker {
+    peers: HashMap<PeerIdx, Registered>,
+    /// Announce tallies per event kind, mirroring real tracker statistics.
+    pub started: u64,
+    /// Number of `completed` announces observed.
+    pub completed: u64,
+    /// Number of `stopped` announces observed.
+    pub stopped: u64,
+}
+
+impl SimTracker {
+    /// An empty tracker.
+    pub fn new() -> SimTracker {
+        SimTracker::default()
+    }
+
+    /// Current number of seeds (`complete` in tracker responses).
+    pub fn num_seeds(&self) -> u32 {
+        self.peers.values().filter(|p| p.is_seed).count() as u32
+    }
+
+    /// Current number of leechers (`incomplete`).
+    pub fn num_leechers(&self) -> u32 {
+        self.peers.values().filter(|p| !p.is_seed).count() as u32
+    }
+
+    /// Total registered peers.
+    pub fn num_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Handle an announce. Returns the peer list (already round-tripped
+    /// through the compact wire encoding), or `None` for `stopped`.
+    #[allow(clippy::too_many_arguments)] // mirrors the announce request fields
+    pub fn announce(
+        &mut self,
+        peer: PeerIdx,
+        ip: IpAddr,
+        port: u16,
+        is_seed: bool,
+        event: AnnounceEvent,
+        num_want: usize,
+        rng: &mut SmallRng,
+    ) -> Option<AnnounceResponse> {
+        match event {
+            AnnounceEvent::Started => self.started += 1,
+            AnnounceEvent::Completed => self.completed += 1,
+            AnnounceEvent::Stopped => self.stopped += 1,
+            AnnounceEvent::Periodic => {}
+        }
+        if matches!(event, AnnounceEvent::Stopped) {
+            self.peers.remove(&peer);
+            return None;
+        }
+        self.peers.insert(peer, Registered { ip, port, is_seed });
+
+        // Random sample of other peers. Seeds are not returned to seeds —
+        // the standard deployed-tracker optimisation (a seed↔seed
+        // connection carries nothing and both ends drop it immediately).
+        let mut others: Vec<PeerEntry> = self
+            .peers
+            .iter()
+            .filter(|(&idx, r)| idx != peer && !(is_seed && r.is_seed))
+            .map(|(_, r)| PeerEntry {
+                ip: r.ip,
+                port: r.port,
+            })
+            .collect();
+        others.sort_by_key(|p| (p.ip, p.port)); // determinism before shuffle
+        others.shuffle(rng);
+        others.truncate(num_want);
+
+        let response = AnnounceResponse {
+            interval: ANNOUNCE_INTERVAL_SECS,
+            complete: self.num_seeds(),
+            incomplete: self.num_leechers(),
+            peers: others,
+        };
+        // Exercise the real compact encoding on every announce.
+        let encoded = response.encode_compact();
+        Some(AnnounceResponse::decode_compact(&encoded).expect("self-encoded response decodes"))
+    }
+
+    /// Mark a peer as having become a seed without a full announce (used
+    /// when the simulator observes the transition directly).
+    pub fn mark_seed(&mut self, peer: PeerIdx) {
+        if let Some(r) = self.peers.get_mut(&peer) {
+            r.is_seed = true;
+        }
+    }
+
+    /// Remove a peer (departure without a clean `stopped` announce).
+    pub fn remove(&mut self, peer: PeerIdx) {
+        self.peers.remove(&peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn registers_and_counts() {
+        let mut t = SimTracker::new();
+        let mut r = rng();
+        t.announce(0, IpAddr(1), 6881, true, AnnounceEvent::Started, 50, &mut r);
+        t.announce(
+            1,
+            IpAddr(2),
+            6881,
+            false,
+            AnnounceEvent::Started,
+            50,
+            &mut r,
+        );
+        assert_eq!(t.num_seeds(), 1);
+        assert_eq!(t.num_leechers(), 1);
+        assert_eq!(t.started, 2);
+    }
+
+    #[test]
+    fn response_excludes_requester_and_caps_size() {
+        let mut t = SimTracker::new();
+        let mut r = rng();
+        for i in 0..100 {
+            t.announce(
+                i,
+                IpAddr(i as u32 + 1),
+                6881,
+                false,
+                AnnounceEvent::Started,
+                0,
+                &mut r,
+            );
+        }
+        let resp = t
+            .announce(
+                0,
+                IpAddr(1),
+                6881,
+                false,
+                AnnounceEvent::Periodic,
+                50,
+                &mut r,
+            )
+            .unwrap();
+        assert_eq!(resp.peers.len(), 50);
+        assert!(resp.peers.iter().all(|p| p.ip != IpAddr(1)));
+        assert_eq!(resp.incomplete, 100);
+    }
+
+    #[test]
+    fn stopped_removes_peer() {
+        let mut t = SimTracker::new();
+        let mut r = rng();
+        t.announce(
+            0,
+            IpAddr(1),
+            6881,
+            false,
+            AnnounceEvent::Started,
+            50,
+            &mut r,
+        );
+        assert!(t
+            .announce(
+                0,
+                IpAddr(1),
+                6881,
+                false,
+                AnnounceEvent::Stopped,
+                50,
+                &mut r
+            )
+            .is_none());
+        assert_eq!(t.num_peers(), 0);
+        assert_eq!(t.stopped, 1);
+    }
+
+    #[test]
+    fn seeds_are_not_returned_to_seeds() {
+        let mut t = SimTracker::new();
+        let mut r = rng();
+        for i in 0..5 {
+            t.announce(
+                i,
+                IpAddr(i as u32 + 1),
+                6881,
+                true,
+                AnnounceEvent::Started,
+                50,
+                &mut r,
+            );
+        }
+        for i in 5..8 {
+            t.announce(
+                i,
+                IpAddr(i as u32 + 1),
+                6881,
+                false,
+                AnnounceEvent::Started,
+                50,
+                &mut r,
+            );
+        }
+        // A seed announcing sees only the 3 leechers.
+        let resp = t
+            .announce(
+                0,
+                IpAddr(1),
+                6881,
+                true,
+                AnnounceEvent::Periodic,
+                50,
+                &mut r,
+            )
+            .unwrap();
+        assert_eq!(resp.peers.len(), 3);
+        // A leecher still sees everyone else.
+        let resp = t
+            .announce(
+                5,
+                IpAddr(6),
+                6881,
+                false,
+                AnnounceEvent::Periodic,
+                50,
+                &mut r,
+            )
+            .unwrap();
+        assert_eq!(resp.peers.len(), 7);
+    }
+
+    #[test]
+    fn completed_flips_seed_status() {
+        let mut t = SimTracker::new();
+        let mut r = rng();
+        t.announce(
+            0,
+            IpAddr(1),
+            6881,
+            false,
+            AnnounceEvent::Started,
+            50,
+            &mut r,
+        );
+        t.announce(
+            0,
+            IpAddr(1),
+            6881,
+            true,
+            AnnounceEvent::Completed,
+            50,
+            &mut r,
+        );
+        assert_eq!(t.num_seeds(), 1);
+        assert_eq!(t.completed, 1);
+    }
+
+    #[test]
+    fn mark_seed_and_remove() {
+        let mut t = SimTracker::new();
+        let mut r = rng();
+        t.announce(
+            3,
+            IpAddr(9),
+            6881,
+            false,
+            AnnounceEvent::Started,
+            50,
+            &mut r,
+        );
+        t.mark_seed(3);
+        assert_eq!(t.num_seeds(), 1);
+        t.remove(3);
+        assert_eq!(t.num_peers(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # bt-torrents — the Table I testbed
+//!
+//! The paper evaluates rarest first and choke on 26 live torrents
+//! (Table I). This crate reproduces that testbed: [`table1`] holds the 26
+//! rows verbatim, and [`runner`] scales each row to a simulatable swarm
+//! (printing the scaling applied), joins one instrumented local peer, and
+//! returns its trace for `bt-analysis`.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod scenarios;
+pub mod table1;
+
+pub use runner::{
+    build_swarm_spec, run_scenario, run_table1, RunConfig, ScaledParams, ScenarioOutcome,
+};
+pub use scenarios::PresetOptions;
+pub use table1::{table1, torrent, ScenarioSpec};

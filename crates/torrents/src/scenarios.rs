@@ -1,0 +1,247 @@
+//! Named scenario presets beyond Table I.
+//!
+//! The Table I runner reproduces the paper's torrents; these presets
+//! package the *situations* the paper and its ablations reason about —
+//! flash crowds, free-rider swarms, rationed trackers, super-seeded
+//! starts — as ready-made [`SwarmSpec`] builders for library users and
+//! tests.
+
+use bt_core::Config;
+use bt_sim::behavior::{BehaviorProfile, CapacityClass, Role};
+use bt_sim::swarm::SwarmSpec;
+use bt_wire::peer_id::ClientKind;
+use bt_wire::time::Duration;
+
+/// Common knobs for the preset builders.
+#[derive(Debug, Clone)]
+pub struct PresetOptions {
+    /// Master PRNG seed.
+    pub seed: u64,
+    /// Content size in 256 kB pieces.
+    pub pieces: u32,
+    /// Session length.
+    pub duration: Duration,
+    /// Base engine configuration.
+    pub config: Config,
+}
+
+impl Default for PresetOptions {
+    fn default() -> Self {
+        PresetOptions {
+            seed: 42,
+            pieces: 48,
+            duration: Duration::from_secs(2 * 3600),
+            config: Config::default(),
+        }
+    }
+}
+
+fn base_spec(opts: &PresetOptions, peers: Vec<BehaviorProfile>) -> SwarmSpec {
+    SwarmSpec {
+        seed: opts.seed,
+        total_len: u64::from(opts.pieces) * 256 * 1024,
+        piece_len: 256 * 1024,
+        duration: opts.duration,
+        base_config: opts.config.clone(),
+        peers,
+        ..SwarmSpec::default()
+    }
+}
+
+fn dsl_leecher(join_secs: u64) -> BehaviorProfile {
+    BehaviorProfile {
+        role: Role::Leecher,
+        client: ClientKind::Mainline402,
+        capacity: CapacityClass::Dsl,
+        join_at: Duration::from_secs(join_secs),
+        seed_linger: Some(Duration::from_secs(900)),
+        depart_at: None,
+        prepopulate: false,
+        restart_after: None,
+    }
+}
+
+/// A flash crowd: one fresh 20 kB/s initial seed, `leechers` empty peers
+/// arriving within the first minute — §IV-A.2.a's transient regime. The
+/// first leecher (index 1) is instrumented.
+pub fn flash_crowd(leechers: usize, opts: &PresetOptions) -> SwarmSpec {
+    let mut peers = vec![BehaviorProfile::seed()];
+    for i in 0..leechers {
+        peers.push(dsl_leecher(i as u64 % 60));
+    }
+    let mut spec = base_spec(opts, peers);
+    spec.local = Some(1);
+    spec.available_fraction = 0.0; // every piece starts rare
+    spec
+}
+
+/// A steady-state swarm: `seeds` seeds plus a prepopulated leecher
+/// population with ongoing arrivals; a fresh instrumented peer joins at
+/// `join_secs`. The paper's torrent-7 regime in miniature.
+pub fn steady_state(
+    seeds: usize,
+    leechers: usize,
+    join_secs: u64,
+    opts: &PresetOptions,
+) -> SwarmSpec {
+    let mut peers = Vec::new();
+    for _ in 0..seeds {
+        peers.push(BehaviorProfile::seed());
+    }
+    for i in 0..leechers {
+        let mut p = dsl_leecher(i as u64 % 60);
+        p.prepopulate = true;
+        peers.push(p);
+    }
+    // A trickle of fresh arrivals keeps the population alive.
+    for i in 0..leechers / 2 {
+        peers.push(dsl_leecher(
+            60 + (i as u64 * opts.duration.0 / 1_000_000) / (leechers as u64 / 2 + 1),
+        ));
+    }
+    peers.push(BehaviorProfile {
+        role: Role::Leecher,
+        client: ClientKind::Mainline402,
+        capacity: CapacityClass::Default,
+        join_at: Duration::from_secs(join_secs),
+        seed_linger: None,
+        depart_at: None,
+        prepopulate: false,
+        restart_after: None,
+    });
+    let mut spec = base_spec(opts, peers);
+    spec.local = Some(spec.peers.len() - 1);
+    spec
+}
+
+/// A swarm with a fraction of free riders among the leechers (§IV-B's
+/// robustness question). No instrumented peer by default.
+pub fn free_rider_swarm(honest: usize, free_riders: usize, opts: &PresetOptions) -> SwarmSpec {
+    let mut peers = vec![BehaviorProfile::seed(), BehaviorProfile::seed()];
+    for i in 0..honest {
+        peers.push(dsl_leecher(i as u64));
+    }
+    for i in 0..free_riders {
+        peers.push(BehaviorProfile {
+            role: Role::FreeRider,
+            client: ClientKind::FreeRider,
+            capacity: CapacityClass::Dsl,
+            join_at: Duration::from_secs(i as u64),
+            seed_linger: None,
+            depart_at: None,
+            prepopulate: false,
+            restart_after: None,
+        });
+    }
+    base_spec(opts, peers)
+}
+
+/// A super-seeded start: the initial seed runs the §IV-A.4 super-seeding
+/// policy and is instrumented (index 0), serving a flash crowd.
+pub fn super_seeded_start(leechers: usize, opts: &PresetOptions) -> SwarmSpec {
+    let mut peers = vec![BehaviorProfile {
+        role: Role::SuperSeed,
+        client: ClientKind::SuperSeeder,
+        capacity: CapacityClass::Default,
+        join_at: Duration::ZERO,
+        seed_linger: None,
+        depart_at: None,
+        prepopulate: false,
+        restart_after: None,
+    }];
+    for i in 0..leechers {
+        peers.push(dsl_leecher(i as u64 % 60));
+    }
+    let mut spec = base_spec(opts, peers);
+    spec.local = Some(0);
+    spec.available_fraction = 0.0;
+    spec
+}
+
+/// A rationed-tracker swarm (2 peers per announce) with peer exchange
+/// enabled — the `ablation-pex` situation as a reusable preset. The last
+/// peer is an instrumented late joiner.
+pub fn rationed_tracker(leechers: usize, opts: &PresetOptions) -> SwarmSpec {
+    let mut opts = opts.clone();
+    opts.config.pex_enabled = true;
+    let mut spec = steady_state(2, leechers, 120, &opts);
+    spec.tracker_response_cap = Some(2);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_sim::Swarm;
+
+    fn opts() -> PresetOptions {
+        PresetOptions {
+            pieces: 12,
+            duration: Duration::from_secs(4000),
+            ..PresetOptions::default()
+        }
+    }
+
+    #[test]
+    fn flash_crowd_runs_to_completion() {
+        let spec = flash_crowd(8, &opts());
+        assert_eq!(spec.local, Some(1));
+        assert_eq!(spec.available_fraction, 0.0);
+        let result = Swarm::new(spec).run();
+        assert!(
+            result.completed_peers >= 7,
+            "completed {}",
+            result.completed_peers
+        );
+        assert!(result.trace.is_some());
+    }
+
+    #[test]
+    fn steady_state_instruments_the_late_joiner() {
+        let spec = steady_state(1, 10, 90, &opts());
+        let local = spec.local.unwrap();
+        assert_eq!(local, spec.peers.len() - 1);
+        assert_eq!(spec.peers[local].join_at, Duration::from_secs(90));
+        let result = Swarm::new(spec).run();
+        assert!(result.completion[local].is_some(), "late joiner finished");
+    }
+
+    #[test]
+    fn free_rider_swarm_shapes() {
+        let spec = free_rider_swarm(6, 2, &opts());
+        let riders = spec
+            .peers
+            .iter()
+            .filter(|p| matches!(p.role, Role::FreeRider))
+            .count();
+        assert_eq!(riders, 2);
+        let result = Swarm::new(spec).run();
+        assert!(result.completed_peers >= 6);
+    }
+
+    #[test]
+    fn super_seeded_start_instruments_the_seed() {
+        let spec = super_seeded_start(6, &opts());
+        assert_eq!(spec.local, Some(0));
+        let result = Swarm::new(spec).run();
+        let trace = result.trace.unwrap();
+        // The instrumented peer is the (super) seed: it uploads, never
+        // downloads.
+        use bt_instrument::trace::TraceEvent;
+        assert!(trace
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::BlockSent { .. })));
+        assert!(!trace
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::BlockReceived { .. })));
+    }
+
+    #[test]
+    fn rationed_tracker_enables_pex() {
+        let spec = rationed_tracker(8, &opts());
+        assert!(spec.base_config.pex_enabled);
+        assert_eq!(spec.tracker_response_cap, Some(2));
+        let result = Swarm::new(spec).run();
+        assert!(result.completed_peers > 0);
+    }
+}

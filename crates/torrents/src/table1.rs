@@ -1,0 +1,148 @@
+//! The 26-torrent testbed of Table I.
+//!
+//! Each [`ScenarioSpec`] reproduces one row of the paper's Table I: the
+//! number of seeds and leechers at experiment start, the observed maximum
+//! peer-set size, and the content size. The `transient` flag marks the
+//! torrents the paper found in their startup phase (low entropy in
+//! figure 1's top graph: torrents 1, 2, 4, 5, 6, 8 and 9 — §IV-A.1),
+//! which the simulator models by leaving a fraction of the pieces *rare*
+//! (present only on the initial seed) at session start.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Torrent ID (column 1).
+    pub id: u32,
+    /// Seeds at experiment start (column 2).
+    pub seeds: u32,
+    /// Leechers at experiment start (column 3).
+    pub leechers: u32,
+    /// Maximum peer-set size observed in leecher state (column 5).
+    pub max_peer_set: u32,
+    /// Content size in MB (column 6).
+    pub size_mb: u32,
+    /// Startup-phase torrent (§IV-A.1's low-entropy list).
+    pub transient: bool,
+}
+
+impl ScenarioSpec {
+    /// Ratio seeds/leechers (column 4).
+    pub fn ratio(&self) -> f64 {
+        if self.leechers == 0 {
+            f64::INFINITY
+        } else {
+            f64::from(self.seeds) / f64::from(self.leechers)
+        }
+    }
+
+    /// A short label like `"torrent-08"`.
+    pub fn label(&self) -> String {
+        format!("torrent-{:02}", self.id)
+    }
+}
+
+/// All 26 rows of Table I, in order.
+pub fn table1() -> Vec<ScenarioSpec> {
+    const ROWS: &[(u32, u32, u32, u32, u32)] = &[
+        // (id, seeds, leechers, max peer set, size MB)
+        (1, 0, 66, 60, 700),
+        (2, 1, 2, 3, 580),
+        (3, 1, 29, 34, 350),
+        (4, 1, 40, 75, 800),
+        (5, 1, 50, 60, 1419),
+        (6, 1, 130, 80, 820),
+        (7, 1, 713, 80, 700),
+        (8, 1, 861, 80, 3000),
+        (9, 1, 1055, 80, 2000),
+        (10, 1, 1207, 80, 348),
+        (11, 1, 1411, 80, 710),
+        (12, 3, 612, 80, 1413),
+        (13, 9, 30, 35, 350),
+        (14, 20, 126, 80, 184),
+        (15, 30, 230, 80, 820),
+        (16, 50, 18, 40, 600),
+        (17, 102, 342, 80, 200),
+        (18, 115, 19, 55, 430),
+        (19, 160, 5, 17, 6),
+        (20, 177, 4657, 80, 2000),
+        (21, 462, 180, 80, 2600),
+        (22, 514, 1703, 80, 349),
+        (23, 1197, 4151, 80, 349),
+        (24, 3697, 7341, 80, 349),
+        (25, 11641, 5418, 80, 350),
+        (26, 12612, 7052, 80, 140),
+    ];
+    /// §IV-A.1: torrents whose low entropy the paper attributes to the
+    /// startup (transient) phase.
+    const TRANSIENT: &[u32] = &[1, 2, 4, 5, 6, 8, 9];
+    ROWS.iter()
+        .map(
+            |&(id, seeds, leechers, max_peer_set, size_mb)| ScenarioSpec {
+                id,
+                seeds,
+                leechers,
+                max_peer_set,
+                size_mb,
+                transient: TRANSIENT.contains(&id),
+            },
+        )
+        .collect()
+}
+
+/// Look up one Table I row by torrent ID (1-based).
+pub fn torrent(id: u32) -> ScenarioSpec {
+    table1()
+        .into_iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("torrent id {id} not in Table I (1–26)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_26_rows_in_order() {
+        let t = table1();
+        assert_eq!(t.len(), 26);
+        for (i, row) in t.iter().enumerate() {
+            assert_eq!(row.id, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn ratios_match_paper_column_4() {
+        // Spot-check the printed ratios of Table I.
+        assert!((torrent(2).ratio() - 0.5).abs() < 1e-9);
+        assert!((torrent(3).ratio() - 0.034).abs() < 5e-3);
+        assert!((torrent(8).ratio() - 0.0012).abs() < 1e-4);
+        assert!((torrent(16).ratio() - 2.8).abs() < 0.03);
+        assert!((torrent(19).ratio() - 32.0).abs() < 1e-9);
+        assert!((torrent(25).ratio() - 2.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn torrent_1_has_no_seed() {
+        let t = torrent(1);
+        assert_eq!(t.seeds, 0);
+        assert_eq!(t.ratio(), 0.0);
+        assert!(t.transient);
+    }
+
+    #[test]
+    fn paper_exemplars() {
+        // §IV-A.2 uses torrent 8 (transient) and torrent 7 (steady).
+        assert!(torrent(8).transient);
+        assert!(!torrent(7).transient);
+        // §IV-A.3 uses torrent 10 (steady).
+        assert!(!torrent(10).transient);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in Table I")]
+    fn unknown_id_panics() {
+        torrent(27);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Extension Protocol (BEP 10) and Peer Exchange (BEP 11, `ut_pex`).
+//!
+//! §II-B of the paper describes a torrent as "a collection of
+//! interconnected peer sets" whose interconnection is maintained by the
+//! tracker's random 50-peer lists. Peer exchange decentralises that:
+//! peers gossip their peer sets to each other, so discovery keeps
+//! working when the tracker is slow, overloaded, or rationing its
+//! responses. This module carries the wire formats:
+//!
+//! * the extension handshake (`extended` message, inner ID 0): a
+//!   bencoded dictionary advertising supported extensions under `m`;
+//! * the `ut_pex` payload: bencoded `added`/`dropped` keys holding
+//!   compact 6-byte peer entries, exactly like tracker responses.
+//!
+//! The `extended` framing itself lives in [`crate::message`]
+//! (`Message::Extended`); engine behaviour in `bt-core`.
+
+use crate::bencode::{self, DictBuilder, Value};
+use crate::peer_id::IpAddr;
+use crate::tracker::PeerEntry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Reserved-bits byte 5 flag advertising the extension protocol
+/// (`reserved[5] & 0x10`).
+pub const RESERVED_BIT: u8 = 0x10;
+
+/// The inner message ID of the extension handshake.
+pub const HANDSHAKE_ID: u8 = 0;
+
+/// The local extension ID this implementation assigns to `ut_pex`.
+pub const UT_PEX_LOCAL_ID: u8 = 1;
+
+/// Extension-protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtensionError {
+    /// Payload was not valid bencoding.
+    Bencode(bencode::BencodeError),
+    /// A required key was missing or mistyped.
+    MissingField(&'static str),
+    /// Compact peer blob length not a multiple of 6.
+    BadCompactPeers(usize),
+}
+
+impl std::fmt::Display for ExtensionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtensionError::Bencode(e) => write!(f, "bencode error: {e}"),
+            ExtensionError::MissingField(k) => write!(f, "missing field `{k}`"),
+            ExtensionError::BadCompactPeers(n) => write!(f, "compact blob of {n} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for ExtensionError {}
+
+/// The extension handshake: which extensions the sender speaks, under
+/// which inner message IDs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExtendedHandshake {
+    /// Extension name → the ID the *sender* will accept it under.
+    pub extensions: BTreeMap<String, u8>,
+}
+
+impl ExtendedHandshake {
+    /// A handshake advertising `ut_pex` under [`UT_PEX_LOCAL_ID`].
+    pub fn with_pex() -> ExtendedHandshake {
+        let mut extensions = BTreeMap::new();
+        extensions.insert("ut_pex".to_owned(), UT_PEX_LOCAL_ID);
+        ExtendedHandshake { extensions }
+    }
+
+    /// The ID under which the sender accepts `ut_pex`, if advertised.
+    pub fn ut_pex_id(&self) -> Option<u8> {
+        self.extensions.get("ut_pex").copied().filter(|&id| id != 0)
+    }
+
+    /// Encode the bencoded handshake payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut m = DictBuilder::new();
+        for (name, id) in &self.extensions {
+            m = m.int(name, i64::from(*id));
+        }
+        DictBuilder::new().insert("m", m.build()).build().encode()
+    }
+
+    /// Decode a bencoded handshake payload.
+    pub fn decode(data: &[u8]) -> Result<ExtendedHandshake, ExtensionError> {
+        let root = bencode::decode(data).map_err(ExtensionError::Bencode)?;
+        let m = root
+            .get("m")
+            .and_then(Value::as_dict)
+            .ok_or(ExtensionError::MissingField("m"))?;
+        let mut extensions = BTreeMap::new();
+        for (k, v) in m {
+            if let (Ok(name), Some(id)) = (std::str::from_utf8(k), v.as_int()) {
+                if (0..=255).contains(&id) {
+                    extensions.insert(name.to_owned(), id as u8);
+                }
+            }
+        }
+        Ok(ExtendedHandshake { extensions })
+    }
+}
+
+/// A `ut_pex` gossip payload: peers recently added to / dropped from the
+/// sender's peer set.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PexPayload {
+    /// Newly connected peers.
+    pub added: Vec<PeerEntry>,
+    /// Recently departed peers.
+    pub dropped: Vec<PeerEntry>,
+}
+
+fn compact(peers: &[PeerEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(peers.len() * 6);
+    for p in peers {
+        out.extend_from_slice(&p.ip.0.to_be_bytes());
+        out.extend_from_slice(&p.port.to_be_bytes());
+    }
+    out
+}
+
+fn uncompact(blob: &[u8]) -> Result<Vec<PeerEntry>, ExtensionError> {
+    if !blob.len().is_multiple_of(6) {
+        return Err(ExtensionError::BadCompactPeers(blob.len()));
+    }
+    Ok(blob
+        .chunks_exact(6)
+        .map(|c| PeerEntry {
+            ip: IpAddr(u32::from_be_bytes([c[0], c[1], c[2], c[3]])),
+            port: u16::from_be_bytes([c[4], c[5]]),
+        })
+        .collect())
+}
+
+impl PexPayload {
+    /// Encode the bencoded `ut_pex` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        DictBuilder::new()
+            .bytes("added", compact(&self.added))
+            .bytes("dropped", compact(&self.dropped))
+            .build()
+            .encode()
+    }
+
+    /// Decode a bencoded `ut_pex` payload. Missing keys read as empty.
+    pub fn decode(data: &[u8]) -> Result<PexPayload, ExtensionError> {
+        let root = bencode::decode(data).map_err(ExtensionError::Bencode)?;
+        let added = match root.get("added").and_then(Value::as_bytes) {
+            Some(blob) => uncompact(blob)?,
+            None => Vec::new(),
+        };
+        let dropped = match root.get("dropped").and_then(Value::as_bytes) {
+            Some(blob) => uncompact(blob)?,
+            None => Vec::new(),
+        };
+        Ok(PexPayload { added, dropped })
+    }
+}
+
+/// True if the handshake reserved bytes advertise the extension protocol.
+pub fn supports_extended(reserved: &[u8; 8]) -> bool {
+    reserved[5] & RESERVED_BIT != 0
+}
+
+/// Set the extension-protocol bit in a reserved-bytes array.
+pub fn advertise_extended(reserved: &mut [u8; 8]) {
+    reserved[5] |= RESERVED_BIT;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_roundtrip() {
+        let hs = ExtendedHandshake::with_pex();
+        let enc = hs.encode();
+        let dec = ExtendedHandshake::decode(&enc).unwrap();
+        assert_eq!(dec, hs);
+        assert_eq!(dec.ut_pex_id(), Some(UT_PEX_LOCAL_ID));
+    }
+
+    #[test]
+    fn handshake_without_pex() {
+        let hs = ExtendedHandshake::default();
+        let dec = ExtendedHandshake::decode(&hs.encode()).unwrap();
+        assert_eq!(dec.ut_pex_id(), None);
+    }
+
+    #[test]
+    fn pex_roundtrip() {
+        let p = PexPayload {
+            added: vec![
+                PeerEntry {
+                    ip: IpAddr(0x0A000001),
+                    port: 6881,
+                },
+                PeerEntry {
+                    ip: IpAddr(0x0A000002),
+                    port: 51413,
+                },
+            ],
+            dropped: vec![PeerEntry {
+                ip: IpAddr(0x0A000003),
+                port: 6881,
+            }],
+        };
+        assert_eq!(PexPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn pex_empty_roundtrip() {
+        let p = PexPayload::default();
+        assert_eq!(PexPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn pex_rejects_misaligned_blob() {
+        let enc = DictBuilder::new()
+            .bytes("added", vec![1, 2, 3])
+            .build()
+            .encode();
+        assert!(matches!(
+            PexPayload::decode(&enc),
+            Err(ExtensionError::BadCompactPeers(3))
+        ));
+    }
+
+    #[test]
+    fn handshake_rejects_missing_m() {
+        let enc = DictBuilder::new().int("v", 1).build().encode();
+        assert!(matches!(
+            ExtendedHandshake::decode(&enc),
+            Err(ExtensionError::MissingField("m"))
+        ));
+    }
+
+    #[test]
+    fn reserved_bit() {
+        let mut r = [0u8; 8];
+        assert!(!supports_extended(&r));
+        advertise_extended(&mut r);
+        assert!(supports_extended(&r));
+        assert_eq!(r[5], 0x10);
+    }
+}

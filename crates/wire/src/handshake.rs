@@ -1,0 +1,122 @@
+//! The BitTorrent connection handshake.
+//!
+//! `<pstrlen=19><"BitTorrent protocol"><8 reserved bytes><20-byte info_hash>
+//! <20-byte peer_id>`. Both sides send one; a receiver drops the connection
+//! on info-hash mismatch. The paper's client additionally refuses multiple
+//! concurrent connections from one IP address (§III-D) — that policy lives
+//! in `bt-core`; the codec here is policy-free.
+
+use crate::peer_id::{PeerId, PEER_ID_LEN};
+use crate::sha1::Digest;
+
+/// Protocol string for BitTorrent v1.
+pub const PROTOCOL: &[u8; 19] = b"BitTorrent protocol";
+
+/// Total encoded handshake length: 1 + 19 + 8 + 20 + 20.
+pub const HANDSHAKE_LEN: usize = 68;
+
+/// A decoded handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// Reserved feature bits (all zero for the paper's client).
+    pub reserved: [u8; 8],
+    /// Info-hash of the torrent this connection is for.
+    pub info_hash: Digest,
+    /// The sender's peer ID.
+    pub peer_id: PeerId,
+}
+
+/// Handshake decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// Fewer than [`HANDSHAKE_LEN`] bytes provided.
+    Truncated(usize),
+    /// Protocol string mismatch.
+    BadProtocol,
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::Truncated(n) => write!(f, "handshake truncated at {n} bytes"),
+            HandshakeError::BadProtocol => write!(f, "unknown protocol string"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+impl Handshake {
+    /// Build a plain v1 handshake (no extensions).
+    pub fn new(info_hash: Digest, peer_id: PeerId) -> Handshake {
+        Handshake {
+            reserved: [0u8; 8],
+            info_hash,
+            peer_id,
+        }
+    }
+
+    /// Encode into the 68-byte wire form.
+    pub fn encode(&self) -> [u8; HANDSHAKE_LEN] {
+        let mut out = [0u8; HANDSHAKE_LEN];
+        out[0] = PROTOCOL.len() as u8;
+        out[1..20].copy_from_slice(PROTOCOL);
+        out[20..28].copy_from_slice(&self.reserved);
+        out[28..48].copy_from_slice(&self.info_hash);
+        out[48..68].copy_from_slice(&self.peer_id.0);
+        out
+    }
+
+    /// Decode from exactly [`HANDSHAKE_LEN`] bytes.
+    pub fn decode(data: &[u8]) -> Result<Handshake, HandshakeError> {
+        if data.len() < HANDSHAKE_LEN {
+            return Err(HandshakeError::Truncated(data.len()));
+        }
+        if data[0] as usize != PROTOCOL.len() || &data[1..20] != PROTOCOL {
+            return Err(HandshakeError::BadProtocol);
+        }
+        let mut reserved = [0u8; 8];
+        reserved.copy_from_slice(&data[20..28]);
+        let mut info_hash = [0u8; 20];
+        info_hash.copy_from_slice(&data[28..48]);
+        let mut peer_id = [0u8; PEER_ID_LEN];
+        peer_id.copy_from_slice(&data[48..68]);
+        Ok(Handshake {
+            reserved,
+            info_hash,
+            peer_id: PeerId(peer_id),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer_id::ClientKind;
+
+    #[test]
+    fn roundtrip() {
+        let hs = Handshake::new([7u8; 20], PeerId::new(ClientKind::Mainline402, 3));
+        let enc = hs.encode();
+        assert_eq!(enc.len(), HANDSHAKE_LEN);
+        assert_eq!(Handshake::decode(&enc).unwrap(), hs);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let hs = Handshake::new([1u8; 20], PeerId::new(ClientKind::Azureus, 1));
+        let enc = hs.encode();
+        assert!(matches!(
+            Handshake::decode(&enc[..67]),
+            Err(HandshakeError::Truncated(67))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_protocol() {
+        let hs = Handshake::new([1u8; 20], PeerId::new(ClientKind::Azureus, 1));
+        let mut enc = hs.encode();
+        enc[1] = b'X';
+        assert_eq!(Handshake::decode(&enc), Err(HandshakeError::BadProtocol));
+    }
+}

@@ -1,0 +1,182 @@
+//! Peer identifiers.
+//!
+//! §III-D of the paper: a peer ID is 20 bytes, "a string composed of the
+//! client ID and a randomly generated string. This random string is
+//! regenerated each time the client is restarted. The client ID is a string
+//! composed of the client name and version number, e.g., M4-0-2 for the
+//! mainline client in version 4.0.2." The paper de-duplicates peers by
+//! (IP, client ID), since the random suffix changes across restarts.
+
+use serde::{Deserialize, Serialize};
+
+/// Length of a peer ID in bytes.
+pub const PEER_ID_LEN: usize = 20;
+
+/// Known client families observed in the paper's traces (§III-D mentions
+/// "around 20 different BitTorrent clients"). The simulator assigns these
+/// to remote peers to reproduce the identification noise the analysis
+/// pipeline must cope with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClientKind {
+    /// Mainline 4.0.2 — the instrumented client of the paper.
+    Mainline402,
+    /// Mainline 4.0.0 (first release with the new seed-state choke).
+    Mainline400,
+    /// An older mainline without the new seed algorithm.
+    Mainline362,
+    /// Azureus-style client.
+    Azureus,
+    /// BitComet-style client.
+    BitComet,
+    /// libtorrent/rtorrent-style client.
+    LibTorrent,
+    /// A client with the super-seeding plugin enabled (§IV-A.1).
+    SuperSeeder,
+    /// A free-riding client that never uploads (§IV-B).
+    FreeRider,
+}
+
+impl ClientKind {
+    /// The printable client-ID prefix embedded in the peer ID.
+    pub fn client_id(&self) -> &'static str {
+        match self {
+            ClientKind::Mainline402 => "M4-0-2--",
+            ClientKind::Mainline400 => "M4-0-0--",
+            ClientKind::Mainline362 => "M3-6-2--",
+            ClientKind::Azureus => "-AZ2304-",
+            ClientKind::BitComet => "-BC0059-",
+            ClientKind::LibTorrent => "-lt0C00-",
+            ClientKind::SuperSeeder => "-SS1000-",
+            ClientKind::FreeRider => "-FR0001-",
+        }
+    }
+
+    /// All kinds, for building client mixes.
+    pub fn all() -> &'static [ClientKind] {
+        &[
+            ClientKind::Mainline402,
+            ClientKind::Mainline400,
+            ClientKind::Mainline362,
+            ClientKind::Azureus,
+            ClientKind::BitComet,
+            ClientKind::LibTorrent,
+            ClientKind::SuperSeeder,
+            ClientKind::FreeRider,
+        ]
+    }
+}
+
+/// A 20-byte peer identifier: an 8-byte client ID plus 12 random bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeerId(pub [u8; PEER_ID_LEN]);
+
+impl PeerId {
+    /// Build a peer ID for `kind` with the given random suffix.
+    ///
+    /// The suffix models the per-process random string; restarting a client
+    /// produces a new suffix but the same client ID.
+    pub fn new(kind: ClientKind, random_suffix: u64) -> PeerId {
+        let mut bytes = [0u8; PEER_ID_LEN];
+        bytes[..8].copy_from_slice(kind.client_id().as_bytes());
+        // 12 printable bytes derived from the suffix.
+        let mut state = random_suffix | 1;
+        for b in bytes[8..].iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = b'0' + ((state >> 33) % 75) as u8; // printable ASCII range
+        }
+        PeerId(bytes)
+    }
+
+    /// The client-ID prefix (first 8 bytes) as a string.
+    pub fn client_id(&self) -> String {
+        String::from_utf8_lossy(&self.0[..8]).into_owned()
+    }
+
+    /// Recover the [`ClientKind`] from the client-ID prefix, if recognised.
+    pub fn kind(&self) -> Option<ClientKind> {
+        ClientKind::all()
+            .iter()
+            .copied()
+            .find(|k| k.client_id().as_bytes() == &self.0[..8])
+    }
+}
+
+impl std::fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PeerId({})", String::from_utf8_lossy(&self.0))
+    }
+}
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.0))
+    }
+}
+
+/// A simulated IPv4 address. Peers behind the same NAT share one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Dotted-quad rendering.
+    pub fn to_dotted(&self) -> String {
+        let b = self.0.to_be_bytes();
+        format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl std::fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_dotted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_id_embeds_client_id() {
+        let id = PeerId::new(ClientKind::Mainline402, 12345);
+        assert_eq!(id.client_id(), "M4-0-2--");
+        assert_eq!(id.kind(), Some(ClientKind::Mainline402));
+    }
+
+    #[test]
+    fn restart_changes_suffix_not_client_id() {
+        let a = PeerId::new(ClientKind::Azureus, 1);
+        let b = PeerId::new(ClientKind::Azureus, 2);
+        assert_ne!(a, b);
+        assert_eq!(a.client_id(), b.client_id());
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        assert_eq!(
+            PeerId::new(ClientKind::BitComet, 9),
+            PeerId::new(ClientKind::BitComet, 9)
+        );
+    }
+
+    #[test]
+    fn suffix_is_printable() {
+        let id = PeerId::new(ClientKind::LibTorrent, u64::MAX);
+        assert!(id.0[8..].iter().all(|b| b.is_ascii_graphic()));
+    }
+
+    #[test]
+    fn all_client_ids_are_8_bytes_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in ClientKind::all() {
+            assert_eq!(k.client_id().len(), 8);
+            assert!(seen.insert(k.client_id()));
+        }
+    }
+
+    #[test]
+    fn ip_formatting() {
+        assert_eq!(IpAddr(0xC0A80001).to_dotted(), "192.168.0.1");
+    }
+}

@@ -1,0 +1,227 @@
+//! A from-scratch SHA-1 implementation (FIPS 180-1).
+//!
+//! BitTorrent uses SHA-1 for piece verification and for the info-hash that
+//! identifies a torrent. No external hashing crate is vendored offline, so
+//! this module implements the digest directly. SHA-1 is cryptographically
+//! broken for collision resistance, but the reproduction only needs it for
+//! protocol fidelity (the paper's client, mainline 4.0.2, used SHA-1).
+
+/// Length of a SHA-1 digest in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// A 160-bit SHA-1 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
+
+/// Incremental SHA-1 hasher.
+///
+/// ```
+/// use bt_wire::sha1::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// let d = h.finalize();
+/// assert_eq!(&d[..4], &[0xa9, 0x99, 0x3e, 0x36]);
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Feed `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.process_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.process_block(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Consume the hasher and produce the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80 then zeros until 56 mod 64, then 64-bit big-endian length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+            // `update` increments `len`; the length field must reflect the
+            // original message, so we re-correct below by not using self.len.
+        }
+        let mut block = self.buf;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.process_block(&block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Render a digest as lowercase hex (40 characters).
+pub fn to_hex(d: &Digest) -> String {
+    let mut s = String::with_capacity(DIGEST_LEN * 2);
+    for b in d {
+        use std::fmt::Write;
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(input: &[u8]) -> String {
+        to_hex(&sha1(input))
+    }
+
+    #[test]
+    fn empty_string() {
+        assert_eq!(hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&data), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        // 64-byte input exercises the padding-into-new-block path.
+        let data = vec![0x61u8; 64];
+        assert_eq!(hex(&data), "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+    }
+
+    #[test]
+    fn fifty_five_and_fifty_six_bytes() {
+        // 55 bytes: length fits in same block as padding; 56: it does not.
+        let d55 = vec![b'x'; 55];
+        let d56 = vec![b'x'; 56];
+        assert_ne!(sha1(&d55), sha1(&d56));
+        assert_eq!(hex(&d55), hex(&d55));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let oneshot = sha1(&data);
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 100] {
+            let mut h = Sha1::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let d = sha1(b"abc");
+        let h = to_hex(&d);
+        assert_eq!(h.len(), 40);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

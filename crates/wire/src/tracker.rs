@@ -1,0 +1,225 @@
+//! Tracker protocol messages.
+//!
+//! The tracker "keeps track of the peers currently involved in the torrent"
+//! (§II-B). A joining peer announces and receives "a list of IP addresses of
+//! peers ... typically 50 peers chosen at random". Peers re-announce every
+//! 30 minutes in steady state, on completion, and when leaving; they
+//! re-request if the peer set falls below 20.
+//!
+//! This module models the announce request/response pair, including the
+//! bencoded compact response format a real tracker would send — so the
+//! simulator's tracker speaks the genuine encoding.
+
+use crate::bencode::{self, DictBuilder, Value};
+use crate::peer_id::{IpAddr, PeerId};
+use crate::sha1::Digest;
+use serde::{Deserialize, Serialize};
+
+/// Why a peer is announcing (BEP 3 `event` parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnnounceEvent {
+    /// First announce on joining the torrent.
+    Started,
+    /// The peer finished downloading (leecher → seed).
+    Completed,
+    /// The peer is leaving the torrent.
+    Stopped,
+    /// Periodic 30-minute heartbeat.
+    Periodic,
+}
+
+/// An announce request from a peer to the tracker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnounceRequest {
+    /// The torrent being announced.
+    pub info_hash: Digest,
+    /// The announcing peer's ID.
+    pub peer_id: PeerId,
+    /// The announcing peer's address.
+    pub ip: IpAddr,
+    /// Listening port.
+    pub port: u16,
+    /// Total bytes uploaded since joining (§II-B: reported to the tracker).
+    pub uploaded: u64,
+    /// Total bytes downloaded since joining.
+    pub downloaded: u64,
+    /// Bytes still missing.
+    pub left: u64,
+    /// The announce event.
+    pub event: AnnounceEvent,
+    /// Number of peers wanted (mainline default: 50).
+    pub num_want: u32,
+}
+
+/// Default number of peers requested from the tracker (§II-B).
+pub const DEFAULT_NUM_WANT: u32 = 50;
+
+/// One peer entry in an announce response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeerEntry {
+    /// Peer address.
+    pub ip: IpAddr,
+    /// Peer port.
+    pub port: u16,
+}
+
+/// An announce response from the tracker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnounceResponse {
+    /// Seconds until the next periodic announce (1800 = 30 min).
+    pub interval: u32,
+    /// Number of seeds the tracker knows of (`complete`).
+    pub complete: u32,
+    /// Number of leechers the tracker knows of (`incomplete`).
+    pub incomplete: u32,
+    /// Random subset of peers.
+    pub peers: Vec<PeerEntry>,
+}
+
+/// Standard re-announce interval: 30 minutes (§II-B).
+pub const ANNOUNCE_INTERVAL_SECS: u32 = 30 * 60;
+
+impl AnnounceResponse {
+    /// Encode as the bencoded compact form (`peers` is a blob of 6-byte
+    /// entries: 4 IP bytes + 2 port bytes, network order).
+    pub fn encode_compact(&self) -> Vec<u8> {
+        let mut blob = Vec::with_capacity(self.peers.len() * 6);
+        for p in &self.peers {
+            blob.extend_from_slice(&p.ip.0.to_be_bytes());
+            blob.extend_from_slice(&p.port.to_be_bytes());
+        }
+        DictBuilder::new()
+            .int("complete", i64::from(self.complete))
+            .int("incomplete", i64::from(self.incomplete))
+            .int("interval", i64::from(self.interval))
+            .bytes("peers", blob)
+            .build()
+            .encode()
+    }
+
+    /// Decode the bencoded compact form.
+    pub fn decode_compact(data: &[u8]) -> Result<AnnounceResponse, TrackerError> {
+        let root = bencode::decode(data).map_err(TrackerError::Bencode)?;
+        let interval = root
+            .get("interval")
+            .and_then(Value::as_int)
+            .filter(|v| *v >= 0)
+            .ok_or(TrackerError::MissingField("interval"))? as u32;
+        let complete = root
+            .get("complete")
+            .and_then(Value::as_int)
+            .unwrap_or(0)
+            .max(0) as u32;
+        let incomplete = root
+            .get("incomplete")
+            .and_then(Value::as_int)
+            .unwrap_or(0)
+            .max(0) as u32;
+        let blob = root
+            .get("peers")
+            .and_then(Value::as_bytes)
+            .ok_or(TrackerError::MissingField("peers"))?;
+        if blob.len() % 6 != 0 {
+            return Err(TrackerError::BadCompactPeers(blob.len()));
+        }
+        let peers = blob
+            .chunks_exact(6)
+            .map(|c| PeerEntry {
+                ip: IpAddr(u32::from_be_bytes([c[0], c[1], c[2], c[3]])),
+                port: u16::from_be_bytes([c[4], c[5]]),
+            })
+            .collect();
+        Ok(AnnounceResponse {
+            interval,
+            complete,
+            incomplete,
+            peers,
+        })
+    }
+}
+
+/// Tracker protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackerError {
+    /// The response bencoding was invalid.
+    Bencode(bencode::BencodeError),
+    /// A required key was absent.
+    MissingField(&'static str),
+    /// Compact peers blob not a multiple of 6 bytes.
+    BadCompactPeers(usize),
+    /// The tracker rejected the announce (unknown info-hash).
+    UnknownTorrent,
+}
+
+impl std::fmt::Display for TrackerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackerError::Bencode(e) => write!(f, "bencode error: {e}"),
+            TrackerError::MissingField(k) => write!(f, "missing field `{k}`"),
+            TrackerError::BadCompactPeers(n) => write!(f, "compact peers blob of {n} bytes"),
+            TrackerError::UnknownTorrent => write!(f, "unknown torrent"),
+        }
+    }
+}
+
+impl std::error::Error for TrackerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let resp = AnnounceResponse {
+            interval: ANNOUNCE_INTERVAL_SECS,
+            complete: 3,
+            incomplete: 97,
+            peers: vec![
+                PeerEntry {
+                    ip: IpAddr(0x0A000001),
+                    port: 6881,
+                },
+                PeerEntry {
+                    ip: IpAddr(0xC0A80102),
+                    port: 51413,
+                },
+            ],
+        };
+        let enc = resp.encode_compact();
+        assert_eq!(AnnounceResponse::decode_compact(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn empty_peer_list_roundtrip() {
+        let resp = AnnounceResponse {
+            interval: 10,
+            complete: 0,
+            incomplete: 0,
+            peers: vec![],
+        };
+        let enc = resp.encode_compact();
+        assert_eq!(AnnounceResponse::decode_compact(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn rejects_misaligned_blob() {
+        let enc = DictBuilder::new()
+            .int("interval", 60)
+            .bytes("peers", vec![1, 2, 3, 4, 5])
+            .build()
+            .encode();
+        assert!(matches!(
+            AnnounceResponse::decode_compact(&enc),
+            Err(TrackerError::BadCompactPeers(5))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_interval() {
+        let enc = DictBuilder::new().bytes("peers", vec![]).build().encode();
+        assert!(matches!(
+            AnnounceResponse::decode_compact(&enc),
+            Err(TrackerError::MissingField("interval"))
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+//! A full instrumented measurement session, paper-style: join Table I's
+//! torrent 7 with an instrumented client, persist the trace to JSON
+//! lines, re-load it, and run the complete analysis pipeline on it.
+//!
+//! ```sh
+//! cargo run --release --example instrumented_session
+//! ```
+
+use bt_repro::analysis::{
+    entropy, fairness, pearson, unchoke_correlation, InterarrivalAnalysis, ReplicationSeries,
+    StateWindow,
+};
+use bt_repro::instrument::identify::PeerRegistry;
+use bt_repro::instrument::trace::Trace;
+use bt_repro::torrents::{run_scenario, torrent, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::default();
+    let spec = torrent(7);
+    println!(
+        "joining {} (1 seed / 713 leechers in Table I, scaled) ...",
+        spec.label()
+    );
+    let outcome = run_scenario(&spec, &cfg);
+    println!(
+        "scaled to {} seeds / {} leechers / {} pieces; {} trace events",
+        outcome.scaled.seeds,
+        outcome.scaled.leechers,
+        outcome.scaled.pieces,
+        outcome.trace.len()
+    );
+
+    // Persist and re-load the trace, as a real measurement pipeline would.
+    let path = std::env::temp_dir().join("bt-repro-torrent7.jsonl");
+    std::fs::write(&path, outcome.trace.to_jsonl()).expect("write trace");
+    let trace =
+        Trace::from_jsonl(&std::fs::read_to_string(&path).expect("read")).expect("parse trace");
+    assert_eq!(trace, outcome.trace, "round-trip must be lossless");
+    println!(
+        "trace persisted to {} and re-loaded losslessly\n",
+        path.display()
+    );
+
+    // §III-D: peer identification.
+    let registry = PeerRegistry::from_trace(&trace);
+    println!("peer identification (paper §III-D):");
+    println!("  connections seen        : {}", registry.memberships.len());
+    println!("  unique (IP, client-ID)  : {}", registry.unique_peers());
+    println!(
+        "  multi-ID IP fraction    : {:.1} %",
+        registry.multi_id_ip_fraction() * 100.0
+    );
+
+    // Figure 1: entropy.
+    let ent = entropy(&trace);
+    println!("\nentropy (figure 1):");
+    println!(
+        "  a/b percentiles (local interested in remote): p20={:.2} p50={:.2} p80={:.2}",
+        ent.local_in_remote.p20, ent.local_in_remote.p50, ent.local_in_remote.p80
+    );
+    println!(
+        "  c/d percentiles (remote interested in local): p20={:.2} p50={:.2} p80={:.2}",
+        ent.remote_in_local.p20, ent.remote_in_local.p50, ent.remote_in_local.p80
+    );
+
+    // Figures 4–6: replication.
+    let series = ReplicationSeries::from_trace(&trace);
+    println!("\nreplication (figures 4–6):");
+    println!("  availability samples    : {}", series.points.len());
+    println!(
+        "  missing-piece fraction  : {:.2}",
+        series.missing_piece_fraction()
+    );
+    println!("  mean peer-set size      : {:.1}", series.mean_peer_set());
+    println!(
+        "  state                   : {}",
+        if series.is_transient() {
+            "transient"
+        } else {
+            "steady"
+        }
+    );
+
+    // Figures 7–8: interarrivals.
+    let pieces = InterarrivalAnalysis::pieces(&trace);
+    let blocks = InterarrivalAnalysis::blocks(&trace);
+    println!("\ninterarrivals (figures 7–8):");
+    println!(
+        "  pieces: {}  first-slowdown ×{:.2}  last-slowdown ×{:.2}",
+        pieces.count,
+        pieces.first_slowdown(),
+        pieces.last_slowdown()
+    );
+    println!(
+        "  blocks: {}  first-slowdown ×{:.2}  last-slowdown ×{:.2}",
+        blocks.count,
+        blocks.first_slowdown(),
+        blocks.last_slowdown()
+    );
+
+    // Figures 9/11: fairness.
+    let ls = fairness(&trace, StateWindow::Leecher);
+    let ss = fairness(&trace, StateWindow::Seed);
+    println!("\nfairness (figures 9/11):");
+    println!(
+        "  LS: top-set upload share {:.2}, reciprocation(5) {:.2}",
+        ls.top_set_upload_share(),
+        ls.reciprocation_share(5)
+    );
+    println!("  SS: Jain index over served bytes {:.2}", ss.jain_index());
+
+    // Figure 10: unchoke correlation.
+    let c = unchoke_correlation(&trace);
+    println!("\nunchoke correlation (figure 10):");
+    println!(
+        "  leecher state: {} peers, Pearson r = {:.2}",
+        c.leecher.len(),
+        pearson(&c.leecher)
+    );
+    println!(
+        "  seed state   : {} peers, Pearson r = {:.2}",
+        c.seed.len(),
+        pearson(&c.seed)
+    );
+}

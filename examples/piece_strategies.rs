@@ -1,0 +1,87 @@
+//! Piece selection strategies head to head on the same single-seed swarm:
+//! rarest first (BitTorrent), uniform random, sequential, and the
+//! global-knowledge oracle. Reproduces the §IV-A argument at a glance.
+//!
+//! ```sh
+//! cargo run --release --example piece_strategies
+//! ```
+
+use bt_repro::analysis::{entropy, ReplicationSeries};
+use bt_repro::piece::PickerKind;
+use bt_repro::sim::{BehaviorProfile, CapacityClass, Role, Swarm, SwarmSpec};
+use bt_repro::wire::peer_id::ClientKind;
+use bt_repro::wire::time::Duration;
+
+fn run(picker: PickerKind) -> (usize, f64, f64) {
+    let cfg = bt_repro::core::Config {
+        picker,
+        ..Default::default()
+    };
+    let mut peers = vec![BehaviorProfile::seed()];
+    for i in 0..40 {
+        peers.push(BehaviorProfile {
+            role: Role::Leecher,
+            client: ClientKind::Mainline402,
+            capacity: CapacityClass::Dsl,
+            join_at: Duration::from_secs(i),
+            seed_linger: Some(Duration::from_secs(900)),
+            depart_at: None,
+            prepopulate: false,
+            restart_after: None,
+        });
+    }
+    let spec = SwarmSpec {
+        seed: 99,
+        total_len: 64 * 256 * 1024,
+        piece_len: 256 * 1024,
+        duration: Duration::from_secs(4 * 3600),
+        base_config: cfg,
+        peers,
+        local: Some(1),
+        available_fraction: 0.0, // startup: the picker's hardest regime
+        ..SwarmSpec::default()
+    };
+    let result = Swarm::new(spec).run();
+    let trace = result.trace.expect("instrumented");
+    let ent = entropy(&trace);
+    let series = ReplicationSeries::from_trace(&trace);
+    (
+        result.completed_peers,
+        ent.local_in_remote.p50,
+        series.missing_piece_fraction(),
+    )
+}
+
+fn main() {
+    println!("single 20 kB/s seed, 40 DSL leechers, 16 MB content, startup phase\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>14}",
+        "picker", "completed", "a/b median", "missing-frac"
+    );
+    println!("{}", "-".repeat(54));
+    let mut completions = std::collections::HashMap::new();
+    for picker in [
+        PickerKind::RarestFirst,
+        PickerKind::GlobalRarest,
+        PickerKind::Random,
+        PickerKind::Sequential,
+    ] {
+        let (done, ab, missing) = run(picker);
+        println!(
+            "{:<14} {:>10} {:>12.2} {:>14.2}",
+            format!("{picker:?}"),
+            done,
+            ab,
+            missing
+        );
+        completions.insert(format!("{picker:?}"), done);
+    }
+    println!(
+        "\nrarest first keeps pace with the global-knowledge oracle and beats\n\
+         rarity-blind orderings — the paper's case against replacing it."
+    );
+    assert!(
+        completions["RarestFirst"] >= completions["Sequential"],
+        "rarest first must not lose to sequential"
+    );
+}

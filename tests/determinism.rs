@@ -1,0 +1,65 @@
+//! Reproducibility: identical specs and seeds give identical traces,
+//! while different seeds diverge. These properties underpin every
+//! regression comparison in EXPERIMENTS.md.
+
+use bt_repro::sim::{BehaviorProfile, Swarm, SwarmSpec};
+use bt_repro::torrents::{run_scenario, torrent, RunConfig};
+use bt_repro::wire::time::Duration;
+
+fn spec(seed: u64) -> SwarmSpec {
+    let mut peers = vec![BehaviorProfile::seed()];
+    for i in 0..8 {
+        peers.push(BehaviorProfile::leecher(Duration::from_secs(i)));
+    }
+    SwarmSpec {
+        seed,
+        total_len: 10 * 256 * 1024,
+        piece_len: 256 * 1024,
+        duration: Duration::from_secs(4000),
+        peers,
+        local: Some(2),
+        ..SwarmSpec::default()
+    }
+}
+
+#[test]
+fn identical_seeds_identical_traces() {
+    let a = Swarm::new(spec(11)).run();
+    let b = Swarm::new(spec(11)).run();
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.completion, b.completion);
+    assert_eq!(a.trace.unwrap().events, b.trace.unwrap().events);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = Swarm::new(spec(1)).run();
+    let b = Swarm::new(spec(2)).run();
+    assert_ne!(
+        a.trace.unwrap().events,
+        b.trace.unwrap().events,
+        "different seeds should not replay the same session"
+    );
+}
+
+#[test]
+fn scenario_runner_is_deterministic() {
+    let cfg = RunConfig::quick();
+    let a = run_scenario(&torrent(13), &cfg);
+    let b = run_scenario(&torrent(13), &cfg);
+    assert_eq!(a.trace.events, b.trace.events);
+    assert_eq!(a.result.completion, b.result.completion);
+    assert_eq!(a.scaled, b.scaled);
+}
+
+#[test]
+fn runner_seed_changes_outcome() {
+    let cfg_a = RunConfig::quick();
+    let cfg_b = RunConfig {
+        seed: cfg_a.seed + 1,
+        ..RunConfig::quick()
+    };
+    let a = run_scenario(&torrent(13), &cfg_a);
+    let b = run_scenario(&torrent(13), &cfg_b);
+    assert_ne!(a.trace.events, b.trace.events);
+}

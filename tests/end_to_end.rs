@@ -1,0 +1,190 @@
+//! End-to-end integration tests: full swarms through the public API,
+//! checking protocol-level invariants on the resulting traces.
+
+use bt_repro::analysis::{entropy, fairness, StateWindow};
+use bt_repro::instrument::identify::PeerRegistry;
+use bt_repro::instrument::trace::{Trace, TraceEvent};
+use bt_repro::sim::{BehaviorProfile, Role, Swarm, SwarmSpec};
+use bt_repro::torrents::{run_scenario, torrent, RunConfig};
+use bt_repro::wire::time::Duration;
+use std::collections::HashSet;
+
+fn small_spec(seed: u64, real_data: bool) -> SwarmSpec {
+    let mut peers = vec![BehaviorProfile::seed()];
+    for _ in 0..6 {
+        peers.push(BehaviorProfile::leecher(Duration::ZERO));
+    }
+    SwarmSpec {
+        seed,
+        total_len: 12 * 256 * 1024,
+        piece_len: 256 * 1024,
+        real_data,
+        duration: Duration::from_secs(4000),
+        peers,
+        local: Some(1),
+        ..SwarmSpec::default()
+    }
+}
+
+/// Every block the local peer reports receiving must be unique, and the
+/// union of completed pieces must equal the content exactly.
+#[test]
+fn trace_block_and_piece_accounting() {
+    let result = Swarm::new(small_spec(1, true)).run();
+    let trace = result.trace.unwrap();
+    let mut blocks = HashSet::new();
+    let mut pieces = HashSet::new();
+    for (_, ev) in trace.iter() {
+        match ev {
+            TraceEvent::BlockReceived { block, .. } => {
+                assert!(
+                    blocks.insert((block.piece, block.offset)),
+                    "accepted duplicate block {block:?}"
+                );
+            }
+            TraceEvent::PieceCompleted { piece } => {
+                assert!(pieces.insert(*piece), "piece {piece} completed twice");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(pieces.len(), 12, "all pieces completed");
+    assert_eq!(blocks.len(), 12 * 16, "16 blocks per 256 kB piece");
+}
+
+/// Trace timestamps are non-decreasing and bounded by the session end.
+#[test]
+fn trace_is_time_ordered() {
+    let result = Swarm::new(small_spec(2, false)).run();
+    let trace = result.trace.unwrap();
+    let mut last = bt_repro::wire::Instant::ZERO;
+    for (t, _) in trace.iter() {
+        assert!(t >= last, "events out of order");
+        assert!(t <= trace.meta.session_end);
+        last = t;
+    }
+}
+
+/// Every join has at most one matching leave, and interest/choke events
+/// only reference joined peers.
+#[test]
+fn membership_consistency() {
+    let result = Swarm::new(small_spec(3, false)).run();
+    let trace = result.trace.unwrap();
+    let mut open: HashSet<u32> = HashSet::new();
+    let mut ever: HashSet<u32> = HashSet::new();
+    for (_, ev) in trace.iter() {
+        match ev {
+            TraceEvent::PeerJoined { peer, .. } => {
+                assert!(open.insert(*peer), "peer {peer} joined twice while open");
+                ever.insert(*peer);
+            }
+            TraceEvent::PeerLeft { peer } => {
+                assert!(open.remove(peer), "peer {peer} left without joining");
+            }
+            TraceEvent::BlockReceived { peer, .. }
+            | TraceEvent::BlockSent { peer, .. }
+            | TraceEvent::LocalChoke { peer, .. } => {
+                assert!(ever.contains(peer), "event for unknown peer {peer}");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The JSON-lines round trip is lossless for a real trace.
+#[test]
+fn trace_serialisation_roundtrip() {
+    let result = Swarm::new(small_spec(4, false)).run();
+    let trace = result.trace.unwrap();
+    let text = trace.to_jsonl();
+    let back = Trace::from_jsonl(&text).unwrap();
+    assert_eq!(back, trace);
+}
+
+/// Block corruption in flight is detected (real data mode) and recovered:
+/// the download still completes, with at least one recorded hash failure
+/// across repeated seeds.
+#[test]
+fn corruption_detected_and_recovered() {
+    let mut failures = 0usize;
+    for seed in 0..3 {
+        let mut spec = small_spec(100 + seed, true);
+        spec.corrupt_block_prob = 0.08;
+        spec.duration = Duration::from_secs(8000);
+        let result = Swarm::new(spec).run();
+        let trace = result.trace.unwrap();
+        failures += trace
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::PieceFailed { .. }))
+            .count();
+        // The local peer must still finish despite corruption.
+        assert!(
+            result.completion[1].is_some(),
+            "seed {seed}: local never completed"
+        );
+    }
+    assert!(
+        failures > 0,
+        "8% corruption over 3 runs must hit the local peer at least once"
+    );
+}
+
+/// A Table I scenario end to end: runs, the analysis pipeline consumes
+/// the trace, and headline metrics are in-range.
+#[test]
+fn table1_scenario_with_analysis() {
+    let cfg = RunConfig::quick();
+    let outcome = run_scenario(&torrent(3), &cfg);
+    let trace = &outcome.trace;
+    let ent = entropy(trace);
+    assert!(!ent.peers.is_empty());
+    for p in &ent.peers {
+        assert!((0.0..=1.0).contains(&p.local_in_remote));
+        assert!((0.0..=1.0).contains(&p.remote_in_local));
+        assert!(p.membership_secs >= 10.0, "10-second filter violated");
+    }
+    let f = fairness(trace, StateWindow::Leecher);
+    let share_sum: f64 = f.upload_share.iter().sum();
+    assert!(share_sum <= 1.0 + 1e-9, "set shares cannot exceed 1");
+    let reg = PeerRegistry::from_trace(trace);
+    assert!(reg.unique_peers() <= reg.memberships.len());
+}
+
+/// Free riders never serve a block: their trace footprint on other peers
+/// contains no uploads.
+#[test]
+fn free_riders_never_upload() {
+    let mut spec = small_spec(5, false);
+    spec.peers.push(BehaviorProfile {
+        role: Role::FreeRider,
+        ..BehaviorProfile::leecher(Duration::ZERO)
+    });
+    // Instrument the free rider itself.
+    spec.local = Some(spec.peers.len() - 1);
+    spec.duration = Duration::from_secs(12_000);
+    let result = Swarm::new(spec).run();
+    let trace = result.trace.unwrap();
+    assert!(
+        !trace
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::BlockSent { .. })),
+        "free rider uploaded"
+    );
+    // It still downloads (excess capacity, §IV-B.1).
+    assert!(trace
+        .iter()
+        .any(|(_, e)| matches!(e, TraceEvent::BlockReceived { .. })));
+}
+
+/// The end game mode fires on the instrumented peer and is recorded.
+#[test]
+fn endgame_recorded_once() {
+    let result = Swarm::new(small_spec(6, false)).run();
+    let trace = result.trace.unwrap();
+    let count = trace
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::EndGameEntered))
+        .count();
+    assert!(count <= 1, "end game recorded {count} times");
+}

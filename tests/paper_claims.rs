@@ -1,0 +1,217 @@
+//! Regression tests for the paper's headline claims at quick scale.
+//!
+//! These are the reproduction's contract: if a refactor silently changes
+//! the simulated protocol dynamics so that a *conclusion* of the paper
+//! no longer holds, one of these tests fails. They run scaled-down
+//! scenarios (RunConfig::quick-ish), so thresholds are generous; the
+//! full-scale shapes live in EXPERIMENTS.md.
+
+use bt_repro::analysis::{entropy, fairness, InterarrivalAnalysis, ReplicationSeries, StateWindow};
+use bt_repro::piece::PickerKind;
+use bt_repro::sim::{BehaviorProfile, CapacityClass, Role, Swarm, SwarmSpec};
+use bt_repro::torrents::{run_scenario, torrent, RunConfig};
+use bt_repro::wire::peer_id::ClientKind;
+use bt_repro::wire::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        max_peers: 60,
+        min_pieces: 48,
+        max_pieces: 96,
+        session: Duration::from_secs(2700),
+        ..RunConfig::default()
+    }
+}
+
+/// Claim 1 (§IV-A.1): "the rarest first algorithm guarantees a close to
+/// ideal entropy" on steady-state torrents — the local peer is
+/// interested in (nearly) every remote leecher (nearly) all the time.
+#[test]
+fn steady_state_entropy_is_close_to_ideal() {
+    let outcome = run_scenario(&torrent(7), &cfg());
+    let ent = entropy(&outcome.trace);
+    assert!(
+        ent.local_in_remote.p50 > 0.9,
+        "steady torrent a/b median {} — entropy regressed",
+        ent.local_in_remote.p50
+    );
+    assert!(
+        ent.local_in_remote.p20 > 0.75,
+        "steady torrent a/b p20 {}",
+        ent.local_in_remote.p20
+    );
+}
+
+/// Claim 2 (§IV-A.2): a startup-phase torrent shows the transient
+/// signature — some piece missing from the peer set essentially always —
+/// and markedly lower entropy than the steady case.
+#[test]
+fn transient_state_has_low_entropy_and_missing_pieces() {
+    // Needs the full population scale: in a small swarm the initial seed
+    // sits inside the local peer set, so no piece ever reads as missing
+    // (the paper's torrent 8 signature relies on the seed being one of
+    // 861 leechers and usually *outside* the 80-peer window).
+    let c = RunConfig::default();
+    let steady = run_scenario(&torrent(7), &c);
+    let transient = run_scenario(&torrent(8), &c);
+    let series = ReplicationSeries::from_trace(&transient.trace).leecher_state(&transient.trace);
+    assert!(
+        series.missing_piece_fraction() > 0.8,
+        "torrent 8 must stay transient (missing fraction {})",
+        series.missing_piece_fraction()
+    );
+    let e_steady = entropy(&steady.trace).local_in_remote.p50;
+    let e_transient = entropy(&transient.trace).local_in_remote.p50;
+    assert!(
+        e_transient < e_steady - 0.2,
+        "transient entropy ({e_transient}) must sit well below steady ({e_steady})"
+    );
+}
+
+/// Claim 3 (§IV-A.2.a): the rare-piece drain is linear at a rate bounded
+/// by the initial seed's upload capacity.
+#[test]
+fn rare_pieces_drain_at_bounded_constant_rate() {
+    let outcome = run_scenario(&torrent(8), &RunConfig::default());
+    let series = ReplicationSeries::from_trace(&outcome.trace).leecher_state(&outcome.trace);
+    let slope = series.rarest_set_slope();
+    assert!(slope < 0.0, "rarest set must drain, slope {slope}");
+    // Implied source rate cannot exceed the 20 kB/s initial seed.
+    let implied = -slope * f64::from(outcome.scaled.piece_len);
+    assert!(
+        implied <= 24.0 * 1024.0,
+        "implied drain rate {implied} B/s exceeds the seed's 20 kB/s capacity"
+    );
+}
+
+/// Claim 4 (§IV-A.3): no last pieces problem in steady state, but a
+/// first pieces/blocks problem.
+#[test]
+fn first_blocks_problem_without_last_pieces_problem() {
+    let outcome = run_scenario(&torrent(10), &cfg());
+    let blocks = InterarrivalAnalysis::blocks(&outcome.trace);
+    assert!(
+        blocks.first_slowdown() > 1.5,
+        "first blocks problem absent: slowdown {}",
+        blocks.first_slowdown()
+    );
+    assert!(
+        blocks.last_slowdown() < 1.5,
+        "a last blocks problem appeared: slowdown {}",
+        blocks.last_slowdown()
+    );
+}
+
+/// Claim 5 (§IV-B.3): the new seed-state algorithm spreads service far
+/// more evenly than the leecher-state rate competition spreads uploads.
+#[test]
+fn seed_state_service_is_flatter_than_leecher_state() {
+    let outcome = run_scenario(&torrent(10), &cfg());
+    let ls = fairness(&outcome.trace, StateWindow::Leecher);
+    let ss = fairness(&outcome.trace, StateWindow::Seed);
+    assert!(ss.total_uploaded > 0, "local peer must reach seed state");
+    assert!(
+        ss.top_set_upload_share() < ls.top_set_upload_share(),
+        "seed-state top-set share {} must undercut leecher-state {}",
+        ss.top_set_upload_share(),
+        ls.top_set_upload_share()
+    );
+}
+
+/// Claim 6 (§IV-A): rarest first never loses to a rarity-blind ordering;
+/// sequential selection cannot even keep a single-seed swarm alive.
+#[test]
+fn rarest_first_beats_sequential() {
+    let run = |picker: PickerKind| {
+        let mut peers = vec![BehaviorProfile::seed()];
+        for i in 0..20 {
+            peers.push(BehaviorProfile {
+                role: Role::Leecher,
+                client: ClientKind::Mainline402,
+                capacity: CapacityClass::Dsl,
+                join_at: Duration::from_secs(i),
+                seed_linger: Some(Duration::from_secs(600)),
+                depart_at: None,
+                prepopulate: false,
+                restart_after: None,
+            });
+        }
+        let base = bt_repro::core::Config {
+            picker,
+            ..Default::default()
+        };
+        let spec = SwarmSpec {
+            seed: 31,
+            total_len: 32 * 256 * 1024,
+            piece_len: 256 * 1024,
+            duration: Duration::from_secs(3 * 3600),
+            base_config: base,
+            peers,
+            local: None,
+            available_fraction: 0.0,
+            ..SwarmSpec::default()
+        };
+        Swarm::new(spec).run().completed_peers
+    };
+    let rarest = run(PickerKind::RarestFirst);
+    let sequential = run(PickerKind::Sequential);
+    assert!(
+        rarest >= sequential,
+        "rarest first ({rarest}) lost to sequential ({sequential})"
+    );
+    assert!(
+        rarest >= 15,
+        "rarest first should nearly drain the swarm: {rarest}"
+    );
+}
+
+/// Claim 7 (§IV-B): free riders are served (excess capacity) but cannot
+/// outperform the contributing population.
+#[test]
+fn free_riders_served_but_not_ahead() {
+    let mut peers = vec![BehaviorProfile::seed(), BehaviorProfile::seed()];
+    let honest = 8;
+    for i in 0..honest {
+        peers.push(BehaviorProfile {
+            role: Role::Leecher,
+            client: ClientKind::Mainline402,
+            capacity: CapacityClass::Dsl,
+            join_at: Duration::from_secs(i),
+            seed_linger: Some(Duration::from_secs(600)),
+            depart_at: None,
+            prepopulate: false,
+            restart_after: None,
+        });
+    }
+    peers.push(BehaviorProfile {
+        role: Role::FreeRider,
+        client: ClientKind::FreeRider,
+        capacity: CapacityClass::Dsl,
+        join_at: Duration::from_secs(4),
+        seed_linger: None,
+        depart_at: None,
+        prepopulate: false,
+        restart_after: None,
+    });
+    let fr_idx = peers.len() - 1;
+    let spec = SwarmSpec {
+        seed: 13,
+        total_len: 24 * 256 * 1024,
+        piece_len: 256 * 1024,
+        duration: Duration::from_secs(4 * 3600),
+        peers,
+        local: None,
+        ..SwarmSpec::default()
+    };
+    let result = Swarm::new(spec).run();
+    let fr_done = result.completion[fr_idx];
+    assert!(fr_done.is_some(), "free rider starved outright");
+    let honest_times: Vec<_> = (2..2 + honest as usize)
+        .filter_map(|i| result.completion[i])
+        .collect();
+    let best_honest = honest_times.iter().min().copied().unwrap();
+    assert!(
+        fr_done.unwrap() >= best_honest,
+        "the free rider finished before every contributor"
+    );
+}

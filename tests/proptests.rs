@@ -1,0 +1,258 @@
+//! Property-based tests over the wire formats and core data structures.
+
+use bt_repro::piece::{Availability, Bitfield};
+use bt_repro::wire::bencode::{self, Value};
+use bt_repro::wire::message::{BlockRef, Decoder, Message};
+use bt_repro::wire::sha1::{sha1, Sha1};
+use bt_repro::wire::tracker::{AnnounceResponse, PeerEntry};
+use bt_repro::wire::{Handshake, IpAddr, PeerId};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Generators
+// ----------------------------------------------------------------------
+
+fn arb_bencode_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            proptest::collection::btree_map(
+                proptest::collection::vec(any::<u8>(), 0..16),
+                inner,
+                0..6
+            )
+            .prop_map(Value::Dict),
+        ]
+    })
+}
+
+fn arb_block_ref() -> impl Strategy<Value = BlockRef> {
+    (0u32..10_000, 0u32..16u32, 1u32..=16384).prop_map(|(piece, blk, length)| BlockRef {
+        piece,
+        offset: blk * 16384,
+        length,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::KeepAlive),
+        Just(Message::Choke),
+        Just(Message::Unchoke),
+        Just(Message::Interested),
+        Just(Message::NotInterested),
+        any::<u32>().prop_map(Message::Have),
+        proptest::collection::vec(any::<u8>(), 0..128).prop_map(Message::Bitfield),
+        arb_block_ref().prop_map(Message::Request),
+        arb_block_ref().prop_map(Message::Cancel),
+        (
+            arb_block_ref(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(mut b, data)| {
+                b.length = data.len() as u32;
+                Message::Piece {
+                    block: b,
+                    data: Bytes::from(data),
+                }
+            }),
+        any::<u16>().prop_map(Message::Port),
+    ]
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Bencode
+    // ------------------------------------------------------------------
+
+    /// encode ∘ decode is the identity on every value tree.
+    #[test]
+    fn bencode_roundtrip(v in arb_bencode_value()) {
+        let encoded = v.encode();
+        let decoded = bencode::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, v);
+    }
+
+    /// The decoder never panics on arbitrary bytes, and whenever it
+    /// succeeds, re-encoding gives back the identical input (canonical
+    /// form is unique).
+    #[test]
+    fn bencode_decoder_total_and_canonical(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(v) = bencode::decode(&data) {
+            prop_assert_eq!(v.encode(), data);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SHA-1
+    // ------------------------------------------------------------------
+
+    /// Incremental hashing over arbitrary chunk splits equals one-shot.
+    #[test]
+    fn sha1_split_invariance(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha1(&data));
+    }
+
+    // ------------------------------------------------------------------
+    // Peer wire messages
+    // ------------------------------------------------------------------
+
+    /// Every message round-trips through the codec, in one feed or many.
+    #[test]
+    fn message_roundtrip(msgs in proptest::collection::vec(arb_message(), 1..8), chunk in 1usize..64) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode_to_vec());
+        }
+        let mut dec = Decoder::default();
+        let mut out = Vec::new();
+        for part in stream.chunks(chunk) {
+            dec.feed(part);
+            while let Some(m) = dec.next_message().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+    }
+
+    /// The decoder never panics on arbitrary garbage.
+    #[test]
+    fn decoder_is_total(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = Decoder::default();
+        dec.feed(&data);
+        while let Ok(Some(_)) = dec.next_message() {}
+    }
+
+    // ------------------------------------------------------------------
+    // Handshake / tracker
+    // ------------------------------------------------------------------
+
+    /// Handshakes round-trip for arbitrary info-hashes and peer IDs.
+    #[test]
+    fn handshake_roundtrip(hash in any::<[u8; 20]>(), id in any::<[u8; 20]>()) {
+        let hs = Handshake::new(hash, PeerId(id));
+        prop_assert_eq!(Handshake::decode(&hs.encode()).unwrap(), hs);
+    }
+
+    /// Compact announce responses round-trip for arbitrary peer lists.
+    #[test]
+    fn tracker_compact_roundtrip(
+        interval in 0u32..100_000,
+        complete in 0u32..100_000,
+        incomplete in 0u32..100_000,
+        peers in proptest::collection::vec((any::<u32>(), any::<u16>()), 0..60)
+    ) {
+        let resp = AnnounceResponse {
+            interval,
+            complete,
+            incomplete,
+            peers: peers.into_iter().map(|(ip, port)| PeerEntry { ip: IpAddr(ip), port }).collect(),
+        };
+        let enc = resp.encode_compact();
+        prop_assert_eq!(AnnounceResponse::decode_compact(&enc).unwrap(), resp);
+    }
+
+    // ------------------------------------------------------------------
+    // Bitfield / availability
+    // ------------------------------------------------------------------
+
+    /// Bitfield wire encoding round-trips for arbitrary piece sets.
+    #[test]
+    fn bitfield_wire_roundtrip(len in 1u32..500, ones in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let mut bf = Bitfield::new(len);
+        for o in ones {
+            bf.set(o % len);
+        }
+        let wire = bf.to_wire();
+        prop_assert_eq!(Bitfield::from_wire(&wire, len), Some(bf));
+    }
+
+    /// count_ones always equals the number of set indices.
+    #[test]
+    fn bitfield_popcount(len in 1u32..300, ones in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let mut bf = Bitfield::new(len);
+        let mut set = std::collections::HashSet::new();
+        for o in ones {
+            let i = o % len;
+            bf.set(i);
+            set.insert(i);
+        }
+        prop_assert_eq!(bf.count_ones() as usize, set.len());
+        prop_assert_eq!(bf.iter_ones().count(), set.len());
+    }
+
+    /// The interest relation is exactly "has a piece I lack": it agrees
+    /// with the set-difference definition on arbitrary bitfields.
+    #[test]
+    fn interest_matches_set_difference(
+        len in 1u32..200,
+        a_ones in proptest::collection::vec(any::<u32>(), 0..64),
+        b_ones in proptest::collection::vec(any::<u32>(), 0..64)
+    ) {
+        let mut a = Bitfield::new(len);
+        let mut b = Bitfield::new(len);
+        for o in a_ones { a.set(o % len); }
+        for o in b_ones { b.set(o % len); }
+        let expected = b.iter_ones().any(|i| !a.get(i));
+        prop_assert_eq!(a.is_interested_in(&b), expected);
+    }
+
+    /// Availability counts match a naive recount after arbitrary
+    /// add/remove/have sequences.
+    #[test]
+    fn availability_matches_recount(
+        len in 1u32..100,
+        peers in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..32), 1..8),
+        haves in proptest::collection::vec(any::<u32>(), 0..32),
+        remove_mask in proptest::collection::vec(any::<bool>(), 1..8)
+    ) {
+        let mut av = Availability::new(len);
+        let mut naive = vec![0u32; len as usize];
+        let bitfields: Vec<Bitfield> = peers
+            .iter()
+            .map(|ones| {
+                let mut bf = Bitfield::new(len);
+                for o in ones {
+                    bf.set(o % len);
+                }
+                bf
+            })
+            .collect();
+        for bf in &bitfields {
+            av.add_peer(bf);
+            for i in bf.iter_ones() {
+                naive[i as usize] += 1;
+            }
+        }
+        for h in haves {
+            av.add_have(h % len);
+            naive[(h % len) as usize] += 1;
+        }
+        for (bf, &remove) in bitfields.iter().zip(remove_mask.iter()) {
+            if remove {
+                av.remove_peer(bf);
+                for i in bf.iter_ones() {
+                    naive[i as usize] -= 1;
+                }
+            }
+        }
+        for (i, &expected) in naive.iter().enumerate() {
+            prop_assert_eq!(av.count(i as u32), expected);
+        }
+        let min = naive.iter().copied().min().unwrap_or(0);
+        prop_assert_eq!(av.min_count(), min);
+        prop_assert_eq!(
+            av.rarest_set_size() as usize,
+            naive.iter().filter(|&&c| c == min).count()
+        );
+    }
+}
