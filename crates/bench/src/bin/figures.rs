@@ -18,6 +18,7 @@ fn main() {
     let mut artefact = None;
     let mut cfg = RunConfig::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut jobs_flag: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -37,6 +38,16 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--jobs" => {
+                let n: usize = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs an integer"));
+                if n == 0 {
+                    die("--jobs must be at least 1");
+                }
+                jobs_flag = Some(n);
             }
             "--out" => {
                 out_dir = Some(PathBuf::from(
@@ -58,11 +69,20 @@ fn main() {
         print_help();
         return;
     };
+    let jobs = jobs_flag.unwrap_or_else(bt_torrents::default_jobs);
 
     match artefact.as_str() {
-        "table1" => print_table1(&cfg),
+        "table1" => {
+            print_table1(&cfg);
+            // An explicit --jobs turns table1 into the parallel-runner
+            // benchmark: time the sequential sweep against the pool and
+            // print the measured speedup.
+            if jobs_flag.is_some() {
+                bench_parallel_sweep(&cfg, jobs);
+            }
+        }
         "fig1" => {
-            let outcomes = run_sweep(&cfg);
+            let outcomes = run_sweep(&cfg, jobs);
             print_fig1(&outcomes);
         }
         "fig2" | "fig3" => {
@@ -95,7 +115,7 @@ fn main() {
             }
         }
         "fig9" => {
-            let outcomes = run_sweep(&cfg);
+            let outcomes = run_sweep(&cfg, jobs);
             print_fairness(&exp::fig9(&outcomes), "Figure 9 — fairness, leecher state");
         }
         "fig10" => {
@@ -103,7 +123,7 @@ fn main() {
             print_fig10(&o);
         }
         "fig11" => {
-            let outcomes = run_sweep(&cfg);
+            let outcomes = run_sweep(&cfg, jobs);
             print_fairness(&exp::fig11(&outcomes), "Figure 11 — fairness, seed state");
         }
         "ablation-picker" => print_ablation_picker(&cfg),
@@ -118,8 +138,12 @@ fn main() {
         "clients" => print_clients(&cfg),
         "globalcheck" => print_globalcheck(&cfg),
         "capacity" => print_capacity(&cfg),
-        "export" => export_csv(&cfg, out_dir.as_deref().unwrap_or(Path::new("figures_out"))),
-        "all" => run_all(&cfg),
+        "export" => export_csv(
+            &cfg,
+            jobs,
+            out_dir.as_deref().unwrap_or(Path::new("figures_out")),
+        ),
+        "all" => run_all(&cfg, jobs),
         other => die(&format!("unknown artefact `{other}` (see --help)")),
     }
 }
@@ -150,6 +174,9 @@ OPTIONS
   --quick   small scale (fast smoke run)
   --full    larger scale (closer to the paper's populations)
   --seed N  master PRNG seed (default 42)
+  --jobs N  worker threads for the 26-torrent sweep (default: all cores);
+            with `table1` also times sequential vs parallel and prints
+            the measured speedup
   --out D   output directory for `export` (default ./figures_out)";
     println!("{text}");
 }
@@ -169,9 +196,45 @@ fn run_one(id: u32, cfg: &RunConfig) -> ScenarioOutcome {
     o
 }
 
-fn run_sweep(cfg: &RunConfig) -> Vec<ScenarioOutcome> {
-    eprintln!("running the 26-torrent sweep ...");
-    exp::sweep(cfg, |id| eprintln!("  torrent {id:2} done"))
+fn run_sweep(cfg: &RunConfig, jobs: usize) -> Vec<ScenarioOutcome> {
+    eprintln!("running the 26-torrent sweep ({jobs} jobs) ...");
+    exp::sweep(cfg, jobs, |id| eprintln!("  torrent {id:2} done"))
+}
+
+/// Time the sequential Table I sweep against the worker pool and print
+/// the measured wall-clock speedup (`figures table1 --jobs N`).
+fn bench_parallel_sweep(cfg: &RunConfig, jobs: usize) {
+    eprintln!("\ntiming sequential sweep ...");
+    let t0 = std::time::Instant::now();
+    let sequential = bt_torrents::run_table1(cfg, |_| {});
+    let seq_elapsed = t0.elapsed();
+    eprintln!("timing parallel sweep ({jobs} jobs) ...");
+    let t1 = std::time::Instant::now();
+    let parallel = bt_torrents::run_table1_parallel(cfg, jobs, |_| {});
+    let par_elapsed = t1.elapsed();
+    let identical = sequential.len() == parallel.len()
+        && sequential
+            .iter()
+            .zip(&parallel)
+            .all(|(s, p)| s.trace == p.trace);
+    println!("\nParallel sweep benchmark (quick={})", cfg.max_peers <= 80);
+    println!("  sequential : {:>8.2?}", seq_elapsed);
+    println!("  {:2} jobs    : {:>8.2?}", jobs, par_elapsed);
+    println!(
+        "  speedup    : {:.2}x",
+        seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  traces     : {}",
+        if identical {
+            "byte-identical to sequential"
+        } else {
+            "MISMATCH — parallel runner is not deterministic!"
+        }
+    );
+    if !identical {
+        std::process::exit(1);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -878,11 +941,11 @@ fn fairness_csv(dir: &Path, name: &str, rows: &[(u32, bt_analysis::FairnessSumma
 }
 
 /// Run every figure's workload and write plotting-ready CSV series.
-fn export_csv(cfg: &RunConfig, dir: &Path) {
+fn export_csv(cfg: &RunConfig, jobs: usize, dir: &Path) {
     std::fs::create_dir_all(dir)
         .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
     eprintln!("exporting CSV series to {} ...", dir.display());
-    let outcomes = run_sweep(cfg);
+    let outcomes = run_sweep(cfg, jobs);
     let find = |id: u32| {
         outcomes
             .iter()
@@ -983,9 +1046,9 @@ fn export_csv(cfg: &RunConfig, dir: &Path) {
     eprintln!("done.");
 }
 
-fn run_all(cfg: &RunConfig) {
+fn run_all(cfg: &RunConfig, jobs: usize) {
     print_table1(cfg);
-    let outcomes = run_sweep(cfg);
+    let outcomes = run_sweep(cfg, jobs);
     println!();
     print_fig1(&outcomes);
     let find = |id: u32| {

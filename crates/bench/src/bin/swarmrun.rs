@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! swarmrun <spec.json> [--trace out.jsonl] [--example]
+//! swarmrun --table1 [--quick] [--seed N] [--jobs N]
 //! ```
 //!
 //! * `--example` prints a complete, runnable spec to stdout and exits;
 //! * `--trace FILE` writes the instrumented peer's trace as JSON lines;
+//! * `--table1` runs the whole 26-torrent Table I sweep on a worker
+//!   pool (`--jobs N`, default: all cores) and prints one summary line
+//!   per torrent — traces are identical for any job count;
 //! * otherwise the run's summary (completions, tracker stats, headline
 //!   analysis metrics) is printed.
 //!
@@ -14,6 +18,7 @@
 
 use bt_analysis::SessionSummary;
 use bt_sim::{BehaviorProfile, Swarm, SwarmSpec};
+use bt_torrents::RunConfig;
 use bt_wire::time::Duration;
 
 fn main() {
@@ -22,8 +27,14 @@ fn main() {
         print_example();
         return;
     }
+    if args.iter().any(|a| a == "--table1") {
+        run_table1_sweep(&args);
+        return;
+    }
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: swarmrun <spec.json> [--trace out.jsonl] [--example]");
+        eprintln!(
+            "usage: swarmrun <spec.json> [--trace out.jsonl] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N]"
+        );
         std::process::exit(2);
     };
     let trace_out = args
@@ -113,6 +124,63 @@ fn main() {
             println!("trace written    : {path}");
         }
     }
+}
+
+/// `swarmrun --table1` — the Table I sweep on the parallel runner.
+fn run_table1_sweep(args: &[String]) {
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("swarmrun: {name} needs an integer");
+                    std::process::exit(2);
+                })
+            })
+    };
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    if let Some(seed) = flag_value("--seed") {
+        cfg.seed = seed;
+    }
+    let jobs = flag_value("--jobs")
+        .map(|n| n.max(1) as usize)
+        .unwrap_or_else(bt_torrents::default_jobs);
+
+    eprintln!("running the 26-torrent Table I sweep ({jobs} jobs) ...");
+    let t0 = std::time::Instant::now();
+    let outcomes = bt_torrents::run_table1_parallel(&cfg, jobs, |o| {
+        eprintln!("  torrent {:2} done ({} events)", o.spec.id, o.trace.len());
+    });
+    println!(
+        "{:>2}  {:>7}  {:>8}  {:>9}  {:>9}",
+        "id", "events", "trace", "completed", "state"
+    );
+    for o in &outcomes {
+        let summary = SessionSummary::from_trace(&o.trace, o.scaled.piece_len);
+        println!(
+            "{:>2}  {:>7}  {:>8}  {:>4} / {:>3}  {}",
+            o.spec.id,
+            o.result.events_processed,
+            o.trace.len(),
+            o.result.completed_peers,
+            o.result.completion.len(),
+            if summary.replication.is_transient() {
+                "transient"
+            } else {
+                "steady"
+            },
+        );
+    }
+    println!(
+        "swept {} torrents in {:.2?} with {jobs} jobs",
+        outcomes.len(),
+        t0.elapsed()
+    );
 }
 
 fn print_example() {

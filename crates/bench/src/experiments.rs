@@ -12,19 +12,20 @@ use bt_choke::ChokerKind;
 use bt_piece::PickerKind;
 use bt_sim::behavior::{BehaviorProfile, CapacityClass, Role};
 use bt_sim::swarm::{Swarm, SwarmSpec};
-use bt_torrents::{run_scenario, table1, torrent, RunConfig, ScenarioOutcome};
+use bt_torrents::{run_scenario, torrent, RunConfig, ScenarioOutcome};
 use bt_wire::peer_id::ClientKind;
 use bt_wire::time::{Duration, Instant};
 
-/// Run the full 26-torrent sweep (Table I + figures 1, 9, 11 input).
-pub fn sweep(cfg: &RunConfig, mut progress: impl FnMut(u32)) -> Vec<ScenarioOutcome> {
-    let mut out = Vec::new();
-    for spec in table1() {
-        let o = run_scenario(&spec, cfg);
-        progress(spec.id);
-        out.push(o);
-    }
-    out
+/// Run the full 26-torrent sweep (Table I + figures 1, 9, 11 input)
+/// across `jobs` worker threads. Outcomes come back in Table I order
+/// with traces byte-identical to a sequential run — see
+/// [`bt_torrents::run_scenarios_parallel`].
+pub fn sweep(
+    cfg: &RunConfig,
+    jobs: usize,
+    mut progress: impl FnMut(u32) + Send,
+) -> Vec<ScenarioOutcome> {
+    bt_torrents::run_table1_parallel(cfg, jobs, move |o| progress(o.spec.id))
 }
 
 /// One row of figure 1: entropy percentiles for a torrent.

@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Scoped threads landed in std in Rust 1.63 with the same shape
+//! crossbeam pioneered, so `crossbeam::thread::scope` here simply
+//! adapts `std::thread::scope` to crossbeam's `Result`-returning
+//! signature. The `channel` module fronts `std::sync::mpsc`.
+
+/// Scoped threads: spawn borrows non-`'static` data, joined at scope end.
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Matches crossbeam's signature: the `Result` is `Err`
+    /// (with a panic payload) if any unjoined child panicked.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        // std::thread::scope re-raises child panics after joining; catch
+        // them to reproduce crossbeam's Result-based reporting.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| std::thread::scope(f)))
+    }
+}
+
+/// Multi-producer channels (std mpsc under crossbeam's names).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for &v in &data {
+                s.spawn(|| {
+                    sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|| panic!("child panic"));
+        });
+        assert!(r.is_err());
+    }
+}

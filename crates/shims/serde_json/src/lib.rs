@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde_json`, backed by the workspace's
+//! JSON-only `serde` shim (the parser, [`Value`], and [`Error`] live
+//! there so derive-generated code can reach them).
+
+pub use serde::json::{Error, Value};
+
+/// Serialise `value` to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialise `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let tree = serde::json::parse(&compact)?;
+    let mut out = String::new();
+    serde::json::write_value_pretty(&mut out, &tree, 0);
+    Ok(out)
+}
+
+/// Parse `input` into a `T`.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let tree = serde::json::parse(input)?;
+    T::deserialize_json(&tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v: Value = from_str("{\"a\":[1,2.5,\"x\"],\"b\":null}").unwrap();
+        let s = to_string(&v).unwrap();
+        let v2: Value = from_str(&s).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v: Value = from_str("{\"a\":[1,2],\"b\":{\"c\":true}}").unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let v2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, v2);
+    }
+}

@@ -305,6 +305,106 @@ pub fn run_table1(
     out
 }
 
+/// The default worker count for parallel sweeps: one per hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `specs` across a pool of `jobs` worker threads.
+///
+/// Every scenario derives its RNG seeds from `(cfg.seed, spec.id)` alone
+/// — nothing about worker count, scheduling, or completion order feeds
+/// into a simulation — so each outcome is byte-identical to what
+/// [`run_scenario`] produces sequentially, and the returned vector is in
+/// `specs` order regardless of which worker finished first.
+///
+/// `progress` is invoked once per completed scenario, in *completion*
+/// order, from whichever worker finished it (serialised by a lock).
+///
+/// A panic inside one scenario does not tear down the pool: remaining
+/// scenarios still run, and the panic is re-raised afterwards naming the
+/// torrent ID that failed.
+pub fn run_scenarios_parallel(
+    cfg: &RunConfig,
+    specs: &[ScenarioSpec],
+    jobs: usize,
+    progress: impl FnMut(&ScenarioOutcome) + Send,
+) -> Vec<ScenarioOutcome> {
+    run_specs_with(specs, jobs, progress, |spec| run_scenario(spec, cfg))
+}
+
+/// The worker-pool core behind [`run_scenarios_parallel`], generic over
+/// the per-scenario function so panic isolation is testable.
+fn run_specs_with(
+    specs: &[ScenarioSpec],
+    jobs: usize,
+    progress: impl FnMut(&ScenarioOutcome) + Send,
+    run: impl Fn(&ScenarioSpec) -> ScenarioOutcome + Sync,
+) -> Vec<ScenarioOutcome> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let jobs = jobs.max(1).min(specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let progress = parking_lot::Mutex::new(progress);
+    let slots: Vec<parking_lot::Mutex<Option<ScenarioOutcome>>> = specs
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    let panics: parking_lot::Mutex<Vec<(u32, String)>> = parking_lot::Mutex::new(Vec::new());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(spec))) {
+                    Ok(outcome) => {
+                        (progress.lock())(&outcome);
+                        *slots[i].lock() = Some(outcome);
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panics.lock().push((spec.id, msg));
+                    }
+                }
+            });
+        }
+    })
+    .expect("scenario panics are caught inside the workers");
+
+    let mut failures = panics.into_inner();
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        let ids: Vec<String> = failures.iter().map(|(id, _)| id.to_string()).collect();
+        panic!(
+            "scenario worker panicked for torrent(s) {}: {}",
+            ids.join(", "),
+            failures[0].1
+        );
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("no panic, so every slot filled"))
+        .collect()
+}
+
+/// Run every Table I scenario across `jobs` workers. Outcomes come back
+/// in Table I order and are byte-identical to [`run_table1`]'s; see
+/// [`run_scenarios_parallel`].
+pub fn run_table1_parallel(
+    cfg: &RunConfig,
+    jobs: usize,
+    progress: impl FnMut(&ScenarioOutcome) + Send,
+) -> Vec<ScenarioOutcome> {
+    run_scenarios_parallel(cfg, &crate::table1::table1(), jobs, progress)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,5 +479,64 @@ mod tests {
         let a = run_scenario(&torrent(2), &cfg);
         let b = run_scenario(&torrent(2), &cfg);
         assert_eq!(a.trace.events, b.trace.events);
+    }
+
+    #[test]
+    fn parallel_subset_matches_sequential_in_spec_order() {
+        let cfg = RunConfig::quick();
+        let specs = [torrent(2), torrent(19), torrent(3)];
+        let sequential: Vec<ScenarioOutcome> =
+            specs.iter().map(|s| run_scenario(s, &cfg)).collect();
+        let progressed = parking_lot::Mutex::new(Vec::new());
+        let parallel = run_scenarios_parallel(&cfg, &specs, 3, |o| {
+            progressed.lock().push(o.spec.id);
+        });
+        assert_eq!(parallel.len(), specs.len());
+        for (seq, par) in sequential.iter().zip(&parallel) {
+            assert_eq!(seq.spec.id, par.spec.id, "outcome order follows specs");
+            assert_eq!(seq.scaled, par.scaled);
+            assert_eq!(seq.trace.events, par.trace.events);
+            assert_eq!(seq.result.completion, par.result.completion);
+        }
+        let mut seen = progressed.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![2, 3, 19], "progress fired once per scenario");
+    }
+
+    #[test]
+    fn parallel_panic_reports_torrent_id_and_finishes_rest() {
+        let cfg = RunConfig::quick();
+        let specs = [torrent(2), torrent(19)];
+        let completed = parking_lot::Mutex::new(Vec::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::run_specs_with(
+                &specs,
+                2,
+                |o| completed.lock().push(o.spec.id),
+                |spec| {
+                    if spec.id == 19 {
+                        panic!("injected failure");
+                    }
+                    run_scenario(spec, &cfg)
+                },
+            )
+        }));
+        let payload = result.expect_err("the injected panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(
+            msg.contains("torrent(s) 19"),
+            "panic names the torrent: {msg}"
+        );
+        assert!(
+            msg.contains("injected failure"),
+            "panic keeps the cause: {msg}"
+        );
+        assert_eq!(
+            completed.into_inner(),
+            vec![2],
+            "the healthy scenario still completed"
+        );
     }
 }

@@ -1,0 +1,116 @@
+//! Property tests for the Table I scaling rules.
+//!
+//! `scale` and `build_swarm_spec` are the bridge between the paper's
+//! real-world torrent populations and what the simulator can afford to
+//! run; these properties pin down the invariants every configuration
+//! must preserve, for all 26 rows at once.
+
+use bt_torrents::runner::scale;
+use bt_torrents::{build_swarm_spec, table1, RunConfig};
+use bt_wire::time::Duration;
+use proptest::prelude::*;
+
+fn cfg_with(max_peers: usize, min_pieces: u32, max_pieces: u32) -> RunConfig {
+    RunConfig {
+        max_peers,
+        min_pieces,
+        max_pieces,
+        session: Duration::from_secs(1800),
+        ..RunConfig::default()
+    }
+}
+
+proptest! {
+    /// Scaling caps the population near `max_peers` (the seed/leecher
+    /// floors may add a couple of peers), keeps the piece count inside
+    /// the configured bounds, and never invents or erases a side of the
+    /// seed/leecher split.
+    #[test]
+    fn scale_invariants_hold_for_all_26_rows(
+        max_peers in 8usize..400,
+        min_pieces in 4u32..64,
+        extra_pieces in 0u32..400,
+    ) {
+        let cfg = cfg_with(max_peers, min_pieces, min_pieces + extra_pieces);
+        for spec in table1() {
+            let sc = scale(&spec, &cfg);
+            prop_assert_eq!(sc.id, spec.id);
+            prop_assert_eq!(sc.seeds >= 1, spec.seeds >= 1,
+                "torrent {}: seeds must survive scaling iff the paper had any", spec.id);
+            prop_assert_eq!(sc.leechers >= 1, spec.leechers >= 1,
+                "torrent {}: leechers must survive scaling iff the paper had any", spec.id);
+            prop_assert!(sc.pieces >= cfg.min_pieces && sc.pieces <= cfg.max_pieces,
+                "torrent {}: {} pieces outside [{}, {}]",
+                spec.id, sc.pieces, cfg.min_pieces, cfg.max_pieces);
+            // Rounding plus the ≥1-seed / ≥2-leecher floors can overshoot
+            // the cap by a couple of peers, never more.
+            prop_assert!((sc.seeds + sc.leechers) as usize <= max_peers + 3,
+                "torrent {}: {}+{} peers blow the {} cap",
+                spec.id, sc.seeds, sc.leechers, max_peers);
+            prop_assert!(sc.peer_scale > 0.0 && sc.peer_scale <= 1.0);
+        }
+    }
+
+    /// Scaling is monotone: the minority side of the paper's
+    /// seed/leecher split stays the minority side (ties allowed after
+    /// rounding).
+    #[test]
+    fn scale_preserves_ratio_direction(max_peers in 8usize..400) {
+        let cfg = cfg_with(max_peers, 24, 48);
+        for spec in table1() {
+            let sc = scale(&spec, &cfg);
+            if spec.seeds <= spec.leechers {
+                prop_assert!(sc.seeds <= sc.leechers.max(2),
+                    "torrent {}: leecher-heavy became seed-heavy ({}/{})",
+                    spec.id, sc.seeds, sc.leechers);
+            } else {
+                prop_assert!(sc.seeds.max(1) >= sc.leechers,
+                    "torrent {}: seed-heavy became leecher-heavy ({}/{})",
+                    spec.id, sc.seeds, sc.leechers);
+            }
+        }
+    }
+
+    /// `build_swarm_spec` must hold for every Table I row under any
+    /// plausible configuration: no panic, an instrumented local peer in
+    /// last position, and a population consistent with the scaling.
+    #[test]
+    fn build_swarm_spec_never_panics(
+        max_peers in 8usize..200,
+        min_pieces in 4u32..48,
+        extra_pieces in 0u32..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut cfg = cfg_with(max_peers, min_pieces, min_pieces + extra_pieces);
+        cfg.seed = seed;
+        for spec in table1() {
+            let (swarm, sc) = build_swarm_spec(&spec, &cfg);
+            prop_assert_eq!(swarm.local, Some(swarm.peers.len() - 1),
+                "torrent {}: local peer must be last", spec.id);
+            prop_assert!(swarm.peers.len() > (sc.seeds + sc.leechers) as usize,
+                "torrent {}: population lost peers", spec.id);
+            prop_assert_eq!(swarm.piece_len, sc.piece_len);
+            prop_assert_eq!(swarm.total_len,
+                u64::from(sc.pieces) * u64::from(sc.piece_len));
+            prop_assert_eq!(swarm.seed, cfg.seed.wrapping_add(u64::from(spec.id) * 1_000_003));
+        }
+    }
+
+    /// Identical `(cfg, spec)` always produce the identical swarm spec —
+    /// the determinism contract the parallel runner relies on.
+    #[test]
+    fn build_swarm_spec_is_deterministic(seed in 0u64..1_000_000) {
+        let mut cfg = RunConfig::quick();
+        cfg.seed = seed;
+        for spec in table1() {
+            let (a, _) = build_swarm_spec(&spec, &cfg);
+            let (b, _) = build_swarm_spec(&spec, &cfg);
+            prop_assert_eq!(a.peers.len(), b.peers.len());
+            prop_assert_eq!(a.seed, b.seed);
+            for (pa, pb) in a.peers.iter().zip(&b.peers) {
+                prop_assert_eq!(pa.join_at, pb.join_at);
+                prop_assert_eq!(pa.capacity, pb.capacity);
+            }
+        }
+    }
+}
