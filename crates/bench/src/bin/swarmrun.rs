@@ -3,6 +3,7 @@
 //! ```text
 //! swarmrun <spec.json> [--trace out.jsonl] [--example]
 //! swarmrun --table1 [--quick] [--seed N] [--jobs N]
+//! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl]
 //! ```
 //!
 //! * `--example` prints a complete, runnable spec to stdout and exits;
@@ -10,13 +11,19 @@
 //! * `--table1` runs the whole 26-torrent Table I sweep on a worker
 //!   pool (`--jobs N`, default: all cores) and prints one summary line
 //!   per torrent — traces are identical for any job count;
+//! * `--net` runs a real-socket loopback swarm through `bt-net`: one
+//!   engine thread per peer, TCP on 127.0.0.1, and the same analysis
+//!   pipeline applied to the captured traces;
 //! * otherwise the run's summary (completions, tracker stats, headline
 //!   analysis metrics) is printed.
 //!
 //! The spec format is `bt_sim::SwarmSpec` serialised as JSON; identical
-//! specs replay bit-for-bit.
+//! specs replay bit-for-bit. `--net` runs are *not* deterministic — the
+//! kernel schedules the threads — but every protocol invariant still
+//! holds.
 
 use bt_analysis::SessionSummary;
+use bt_net::LoopbackSpec;
 use bt_sim::{BehaviorProfile, Swarm, SwarmSpec};
 use bt_torrents::RunConfig;
 use bt_wire::time::Duration;
@@ -31,9 +38,13 @@ fn main() {
         run_table1_sweep(&args);
         return;
     }
+    if args.iter().any(|a| a == "--net") {
+        run_net_swarm(&args);
+        return;
+    }
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!(
-            "usage: swarmrun <spec.json> [--trace out.jsonl] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N]"
+            "usage: swarmrun <spec.json> [--trace out.jsonl] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl]"
         );
         std::process::exit(2);
     };
@@ -123,6 +134,102 @@ fn main() {
             });
             println!("trace written    : {path}");
         }
+    }
+}
+
+/// `swarmrun --net` — a real-socket loopback swarm via `bt-net`.
+fn run_net_swarm(args: &[String]) {
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("swarmrun: {name} needs an integer");
+                    std::process::exit(2);
+                })
+            })
+    };
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut spec = LoopbackSpec::default();
+    if let Some(n) = flag_value("--seeds") {
+        spec.seeds = n.max(1) as usize;
+    }
+    if let Some(n) = flag_value("--leechers") {
+        spec.leechers = n.max(1) as usize;
+    }
+    if let Some(n) = flag_value("--pieces") {
+        spec.total_len = n.max(1) * u64::from(spec.piece_len);
+    }
+    if let Some(n) = flag_value("--seed") {
+        spec.seed = n;
+    }
+    let piece_len = spec.piece_len;
+    let (seeds, leechers) = (spec.seeds, spec.leechers);
+    eprintln!(
+        "running {seeds} seed(s) + {leechers} leecher(s), {} pieces over loopback TCP ...",
+        spec.total_len / u64::from(piece_len)
+    );
+    let result = bt_net::run_loopback_swarm(spec).unwrap_or_else(|e| {
+        eprintln!("swarmrun: net swarm failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "peers completed  : {} / {leechers} leechers in {:.2?} wall",
+        result.completed_leechers, result.wall_elapsed
+    );
+    println!(
+        "tracker          : {} started, {} completed announces",
+        result.tracker_started, result.tracker_completed
+    );
+    for (i, o) in result.outcomes.iter().enumerate() {
+        println!(
+            "peer {i:2}          : {} {:3} pieces, {} msgs in, {} blocks out, {} ticks",
+            if i < seeds { "seed,   " } else { "leecher," },
+            o.pieces,
+            o.stats.messages_in,
+            o.stats.blocks_sent,
+            o.stats.ticks
+        );
+    }
+    // Analyse the first leecher's trace with the same pipeline the
+    // simulator figures use.
+    let Some(trace) = result
+        .outcomes
+        .iter()
+        .skip(seeds)
+        .find_map(|o| o.trace.as_ref())
+    else {
+        return;
+    };
+    let summary = SessionSummary::from_trace(trace, piece_len);
+    println!("trace events     : {}", trace.len());
+    println!(
+        "entropy a/b      : p20={:.2} p50={:.2} p80={:.2} over {} peers",
+        summary.entropy.local_in_remote.p20,
+        summary.entropy.local_in_remote.p50,
+        summary.entropy.local_in_remote.p80,
+        summary.entropy.peers.len()
+    );
+    println!(
+        "blocks received  : {} (first-slowdown ×{:.2})",
+        summary.blocks.count,
+        summary.blocks.first_slowdown()
+    );
+    println!(
+        "overhead         : {:.4} control B / data B",
+        summary.messages.overhead_ratio()
+    );
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("trace written    : {path}");
     }
 }
 

@@ -1,0 +1,160 @@
+//! The sans-io driver contract: [`Input`] in, [`Actions`] out.
+//!
+//! The engine is a pure state machine. A *driver* — the discrete-event
+//! simulator in `bt-sim`, the real-socket runtime in `bt-net`, or a unit
+//! test — owns the clock and the transport, and feeds the engine through
+//! exactly one entry point:
+//!
+//! ```text
+//! let actions = engine.handle(now, input);
+//! ```
+//!
+//! Every externally visible effect comes back as an
+//! [`Action`](crate::Action) in the returned [`Actions`] buffer. Timers
+//! are data, not callbacks: whenever the engine (re)arms its internal
+//! rechoke timer it emits [`Action::SetTimer`](crate::Action::SetTimer),
+//! and [`Engine::next_wakeup`](crate::Engine::next_wakeup) exposes the
+//! pending deadline for pull-style drivers. When the deadline passes, the
+//! driver feeds [`Input::Tick`] and the engine runs whatever periodic
+//! duties are due (§II-C.2 choke rounds, keep-alives, peer exchange,
+//! tracker refresh).
+//!
+//! The contract, in full:
+//!
+//! 1. Feed [`Input::Start`] once when the session begins.
+//! 2. Translate transport events into the matching [`Input`] variants.
+//! 3. After **every** `handle` call, drain the returned [`Actions`] and
+//!    execute them.
+//! 4. When `now >= engine.next_wakeup()`, feed [`Input::Tick`].
+//!    A tick that arrives before the deadline is a harmless no-op, so
+//!    over-ticking is always safe.
+//! 5. If [`Actions::take_error`] yields an [`EngineError`], the remote
+//!    peer violated the protocol; the engine has already cleaned up and
+//!    emitted a [`Disconnect`](crate::Action::Disconnect) — close the
+//!    transport and carry on.
+
+use crate::connection::ConnId;
+use crate::engine::{Action, PeerCaps};
+use crate::error::EngineError;
+use bt_wire::message::{BlockRef, Message};
+use bt_wire::peer_id::{IpAddr, PeerId};
+use bt_wire::tracker::PeerEntry;
+
+/// One event from the outside world, fed through
+/// [`Engine::handle`](crate::Engine::handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// The session begins: announce to the tracker and arm the periodic
+    /// timer. Feed exactly once, first.
+    Start,
+    /// A timer fired (or the driver polled). Runs every periodic duty
+    /// whose deadline has passed; early ticks are no-ops.
+    Tick,
+    /// The tracker answered an announce with a peer list.
+    TrackerResponse {
+        /// Peers returned by the tracker.
+        peers: Vec<PeerEntry>,
+    },
+    /// A connection (either direction) completed its wire handshake.
+    /// The engine may refuse it — check
+    /// [`Actions::take_accepted`]; `None` means the driver must close
+    /// the transport.
+    PeerConnected {
+        /// The remote peer's address.
+        ip: IpAddr,
+        /// The peer ID from the remote handshake.
+        peer_id: PeerId,
+        /// True when the local engine dialled this connection.
+        initiated_by_us: bool,
+        /// Capabilities advertised in the handshake reserved bits.
+        caps: PeerCaps,
+    },
+    /// A dial failed before the handshake completed.
+    ConnectFailed,
+    /// An established connection closed (remote left, transport error).
+    PeerDisconnected {
+        /// The connection that closed.
+        conn: ConnId,
+    },
+    /// One decoded wire message arrived on a connection.
+    Message {
+        /// The connection it arrived on.
+        conn: ConnId,
+        /// The decoded message.
+        msg: Message,
+    },
+    /// The transport finished sending a previously queued block
+    /// ([`Action::SendBlock`](crate::Action::SendBlock)) — drives upload
+    /// rate accounting.
+    BlockSent {
+        /// The connection the block was sent on.
+        conn: ConnId,
+        /// The block that completed.
+        block: BlockRef,
+    },
+}
+
+/// The engine's response to one [`Input`]: an ordered effect list plus
+/// two side channels (the accepted connection ID for
+/// [`Input::PeerConnected`], and the protocol violation, if any).
+///
+/// Returned by reference from [`Engine::handle`](crate::Engine::handle);
+/// effects accumulate across calls until drained with [`Actions::take`]
+/// (or the equivalent [`Engine::drain_actions`](crate::Engine::drain_actions)),
+/// so a driver may batch several inputs before executing.
+#[derive(Debug, Default)]
+pub struct Actions {
+    pub(crate) items: Vec<Action>,
+    pub(crate) accepted: Option<ConnId>,
+    pub(crate) error: Option<EngineError>,
+}
+
+impl Actions {
+    /// Append an effect (engine-internal).
+    pub(crate) fn push(&mut self, action: Action) {
+        self.items.push(action);
+    }
+
+    /// Drain the accumulated effects, in emission order.
+    pub fn take(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.items)
+    }
+
+    /// The connection ID assigned by the last
+    /// [`Input::PeerConnected`], or `None` if the engine refused the
+    /// connection (duplicate IP, full peer set). Consumes the value.
+    pub fn take_accepted(&mut self) -> Option<ConnId> {
+        self.accepted.take()
+    }
+
+    /// The protocol violation raised by the last input, if any. The
+    /// engine has already cleaned up the offending connection and
+    /// emitted [`Action::Disconnect`](crate::Action::Disconnect); the
+    /// driver should close the transport and may log the error.
+    pub fn take_error(&mut self) -> Option<EngineError> {
+        self.error.take()
+    }
+
+    /// Iterate the pending effects without draining them.
+    pub fn iter(&self) -> std::slice::Iter<'_, Action> {
+        self.items.iter()
+    }
+
+    /// Number of pending effects.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no effects are pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Actions {
+    type Item = &'a Action;
+    type IntoIter = std::slice::Iter<'a, Action>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}

@@ -4,15 +4,20 @@
 //! management (§II-B), interest tracking, the piece pipeline (rarest
 //! first + strict priority + end game via `bt-piece`), and the choke
 //! algorithm (`bt-choke`). It is transport-agnostic and clock-agnostic:
-//! the simulator (or a socket front-end) feeds it connection events and
-//! decoded messages, and drains [`Action`]s to execute.
+//! a *driver* — the discrete-event simulator in `bt-sim`, the real
+//! socket runtime in `bt-net`, or a test — feeds it [`Input`] events
+//! through the single [`Engine::handle`] entry point and executes the
+//! [`Action`]s it emits. See [`crate::driver`] for the full contract.
 //!
 //! The engine is what the paper instruments; constructing it with
-//! [`Engine::with_recorder`] attaches the §III-C trace log.
+//! [`crate::EngineBuilder::recorder`] attaches the §III-C trace log.
 
+use crate::builder::EngineBuilder;
 use crate::config::Config;
 use crate::connection::{ConnId, Connection};
 use crate::content::{DataMode, PieceBuffer};
+use crate::driver::{Actions, Input};
+use crate::error::EngineError;
 use bt_choke::{Choker, PeerSnapshot};
 use bt_instrument::trace::{Trace, TraceEvent, TraceMeta, UnchokeRole};
 use bt_piece::{Availability, Bitfield, Geometry, PickContext, PiecePicker, RequestScheduler};
@@ -85,6 +90,15 @@ pub enum Action {
         /// The peer to dial.
         peer: PeerEntry,
     },
+    /// The engine (re)armed its periodic timer: feed [`Input::Tick`] at
+    /// (or any time after) `at`. Supersedes any earlier `SetTimer`; the
+    /// current deadline is also readable via [`Engine::next_wakeup`].
+    /// Ticking early or on a stale deadline is a harmless no-op, so
+    /// drivers need not cancel superseded timers.
+    SetTimer {
+        /// Absolute deadline for the next [`Input::Tick`].
+        at: Instant,
+    },
 }
 
 /// One peer's protocol engine.
@@ -119,13 +133,18 @@ pub struct Engine {
     seed_at: Option<Instant>,
     endgame_recorded: bool,
     last_announce: Instant,
+    /// Deadline of the next periodic (rechoke) round; `None` until the
+    /// session starts. Armed by [`Engine::handle`] on [`Input::Start`],
+    /// re-armed after every round, overridable via
+    /// [`Engine::schedule_rechoke`].
+    next_rechoke: Option<Instant>,
     /// Super-seed state: pieces revealed per connection, and global
     /// reveal counts used to pick the least-revealed piece next.
     revealed_to: HashMap<ConnId, HashSet<u32>>,
     reveal_counts: Vec<u32>,
 
     rng: SmallRng,
-    actions: Vec<Action>,
+    actions: Actions,
     trace: Option<Trace>,
 }
 
@@ -149,7 +168,8 @@ impl Engine {
     ///
     /// `initial_pieces` is the starting bitfield (full for a seed, empty
     /// for a fresh leecher, nearly full for an "almost done" joiner).
-    #[allow(clippy::too_many_arguments)] // construction-time facts, no natural grouping
+    #[allow(clippy::too_many_arguments)] // the shim mirrors the legacy signature
+    #[deprecated(note = "use `EngineBuilder` — it names every argument and folds the recorder in")]
     pub fn new(
         config: Config,
         geometry: Geometry,
@@ -160,8 +180,31 @@ impl Engine {
         initial_pieces: Bitfield,
         seed: u64,
     ) -> Engine {
-        assert_eq!(initial_pieces.len(), geometry.num_pieces());
+        EngineBuilder::new(geometry, info_hash, peer_id)
+            .config(config)
+            .data(data)
+            .ip(ip)
+            .initial_pieces(initial_pieces)
+            .rng_seed(seed)
+            .build()
+    }
+
+    /// Construct from an [`EngineBuilder`] (the only real constructor).
+    pub(crate) fn from_builder(b: EngineBuilder) -> Engine {
+        let EngineBuilder {
+            config,
+            geometry,
+            data,
+            info_hash,
+            peer_id,
+            ip,
+            initial_pieces,
+            seed,
+            recorder,
+        } = b;
         let num_pieces = geometry.num_pieces();
+        let initial_pieces = initial_pieces.unwrap_or_else(|| Bitfield::new(num_pieces));
+        assert_eq!(initial_pieces.len(), num_pieces);
         let is_seed = initial_pieces.is_complete();
         let picker = config.picker.build(num_pieces);
         let leecher_choker = config.choker.build_leecher();
@@ -196,15 +239,17 @@ impl Engine {
             seed_at: if is_seed { Some(Instant::ZERO) } else { None },
             endgame_recorded: false,
             last_announce: Instant::ZERO,
+            next_rechoke: None,
             revealed_to: HashMap::new(),
             reveal_counts: vec![0; num_pieces as usize],
             rng: SmallRng::seed_from_u64(seed),
-            actions: Vec::new(),
-            trace: None,
+            actions: Actions::default(),
+            trace: recorder.map(Trace::new),
         }
     }
 
     /// Attach a §III-C recorder; this engine becomes the *local peer*.
+    #[deprecated(note = "use `EngineBuilder::recorder` instead")]
     pub fn with_recorder(mut self, meta: TraceMeta) -> Engine {
         self.trace = Some(Trace::new(meta));
         self
@@ -295,9 +340,10 @@ impl Engine {
         trace
     }
 
-    /// Drain accumulated actions.
+    /// Drain accumulated actions (equivalent to
+    /// [`Actions::take`] on the buffer returned by [`Engine::handle`]).
     pub fn drain_actions(&mut self) -> Vec<Action> {
-        std::mem::take(&mut self.actions)
+        self.actions.take()
     }
 
     /// Feed global per-piece copy counts to the picker (only the
@@ -313,19 +359,104 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // The sans-io entry point
+    // ------------------------------------------------------------------
+
+    /// Feed one [`Input`] event through the state machine and return the
+    /// accumulated [`Actions`] for the driver to execute.
+    ///
+    /// This is the engine's single entry point; see [`crate::driver`]
+    /// for the full contract. Malformed remote input never panics: the
+    /// offending connection is removed, [`Action::Disconnect`] is
+    /// emitted, and the [`EngineError`] is readable via
+    /// [`Actions::take_error`].
+    pub fn handle(&mut self, now: Instant, input: Input) -> &mut Actions {
+        self.actions.accepted = None;
+        self.actions.error = None;
+        match input {
+            Input::Start => self.do_start(now),
+            Input::Tick => self.do_tick(now),
+            Input::TrackerResponse { peers } => self.do_tracker_response(now, peers),
+            Input::PeerConnected {
+                ip,
+                peer_id,
+                initiated_by_us,
+                caps,
+            } => {
+                self.actions.accepted =
+                    self.do_peer_connected(now, ip, peer_id, initiated_by_us, caps);
+            }
+            Input::ConnectFailed => self.do_connect_failed(now),
+            Input::PeerDisconnected { conn } => self.do_peer_disconnected(now, conn),
+            Input::Message { conn, msg } => {
+                if let Err(err) = self.do_message(now, conn, msg) {
+                    let conn = err.conn();
+                    self.cleanup_conn(now, conn);
+                    self.actions.push(Action::Disconnect { conn });
+                    self.actions.error = Some(err);
+                }
+            }
+            Input::BlockSent { conn, block } => self.do_block_sent(now, conn, block),
+        }
+        &mut self.actions
+    }
+
+    /// The deadline of the next pending timer, for pull-style drivers
+    /// (push-style drivers follow [`Action::SetTimer`] instead). `None`
+    /// until [`Input::Start`] arms the periodic round.
+    pub fn next_wakeup(&self) -> Option<Instant> {
+        self.next_rechoke
+    }
+
+    /// Override the next periodic-round deadline (emits
+    /// [`Action::SetTimer`]). Drivers use this to stagger choke rounds
+    /// across a swarm, or to keep an established round cadence across an
+    /// engine rebuild.
+    pub fn schedule_rechoke(&mut self, at: Instant) {
+        self.arm_rechoke(at);
+    }
+
+    fn arm_rechoke(&mut self, at: Instant) {
+        self.next_rechoke = Some(at);
+        self.actions.push(Action::SetTimer { at });
+    }
+
+    /// Run every periodic duty whose deadline has passed; early or stale
+    /// ticks fall through untouched.
+    fn do_tick(&mut self, now: Instant) {
+        if let Some(at) = self.next_rechoke {
+            if now >= at {
+                self.rechoke(now);
+                self.arm_rechoke(now + self.config.rechoke_period);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Session lifecycle
     // ------------------------------------------------------------------
 
     /// Join the torrent: announce `started` to the tracker.
+    #[deprecated(note = "feed `Input::Start` through `Engine::handle`")]
     pub fn start(&mut self, now: Instant) {
+        self.handle(now, Input::Start);
+    }
+
+    fn do_start(&mut self, now: Instant) {
         self.last_announce = now;
         self.actions.push(Action::Announce {
             event: AnnounceEvent::Started,
         });
+        self.arm_rechoke(now + self.config.rechoke_period);
     }
 
     /// Tracker returned a peer list; dial as many as policy allows.
-    pub fn on_tracker_response(&mut self, _now: Instant, peers: Vec<PeerEntry>) {
+    #[deprecated(note = "feed `Input::TrackerResponse` through `Engine::handle`")]
+    pub fn on_tracker_response(&mut self, now: Instant, peers: Vec<PeerEntry>) {
+        self.handle(now, Input::TrackerResponse { peers });
+    }
+
+    fn do_tracker_response(&mut self, _now: Instant, peers: Vec<PeerEntry>) {
         for p in peers {
             if p.ip != self.ip && !self.connected_ips.contains(&p.ip) {
                 self.candidate_pool.push_back(p);
@@ -359,7 +490,30 @@ impl Engine {
 
     /// A connection (either direction) completed its handshake.
     /// Returns the new connection handle, or `None` if refused.
+    #[deprecated(
+        note = "feed `Input::PeerConnected` through `Engine::handle`, then `Actions::take_accepted`"
+    )]
     pub fn on_peer_connected(
+        &mut self,
+        now: Instant,
+        ip: IpAddr,
+        peer_id: PeerId,
+        initiated_by_us: bool,
+        caps: PeerCaps,
+    ) -> Option<ConnId> {
+        self.handle(
+            now,
+            Input::PeerConnected {
+                ip,
+                peer_id,
+                initiated_by_us,
+                caps,
+            },
+        )
+        .take_accepted()
+    }
+
+    fn do_peer_connected(
         &mut self,
         now: Instant,
         ip: IpAddr,
@@ -521,13 +675,23 @@ impl Engine {
     }
 
     /// A dial failed before the handshake completed.
-    pub fn on_connect_failed(&mut self, _now: Instant) {
+    #[deprecated(note = "feed `Input::ConnectFailed` through `Engine::handle`")]
+    pub fn on_connect_failed(&mut self, now: Instant) {
+        self.handle(now, Input::ConnectFailed);
+    }
+
+    fn do_connect_failed(&mut self, _now: Instant) {
         self.pending_dials = self.pending_dials.saturating_sub(1);
         self.dial_candidates();
     }
 
     /// A connection closed (remote left or transport error).
+    #[deprecated(note = "feed `Input::PeerDisconnected` through `Engine::handle`")]
     pub fn on_peer_disconnected(&mut self, now: Instant, conn: ConnId) {
+        self.handle(now, Input::PeerDisconnected { conn });
+    }
+
+    fn do_peer_disconnected(&mut self, now: Instant, conn: ConnId) {
         self.cleanup_conn(now, conn);
         self.dial_candidates();
     }
@@ -553,9 +717,14 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Process one decoded message from a connection.
+    #[deprecated(note = "feed `Input::Message` through `Engine::handle`")]
     pub fn on_message(&mut self, now: Instant, conn: ConnId, msg: Message) {
+        self.handle(now, Input::Message { conn, msg });
+    }
+
+    fn do_message(&mut self, now: Instant, conn: ConnId, msg: Message) -> Result<(), EngineError> {
         if !self.conns.contains_key(&conn) {
-            return; // raced a disconnect
+            return Ok(()); // raced a disconnect
         }
         if self.trace.is_some() {
             // §III-C: a log of each message received. Piece payloads and
@@ -572,15 +741,16 @@ impl Engine {
         }
         match msg {
             Message::KeepAlive | Message::Port(_) => {}
-            Message::Bitfield(bits) => self.on_bitfield(now, conn, &bits),
-            Message::Have(piece) => self.on_have(now, conn, piece),
+            Message::Bitfield(bits) => self.on_bitfield(now, conn, &bits)?,
+            Message::Have(piece) => self.on_have(now, conn, piece)?,
             Message::Interested => self.on_remote_interest(now, conn, true),
             Message::NotInterested => self.on_remote_interest(now, conn, false),
             Message::Choke => self.on_remote_choke(now, conn, true),
             Message::Unchoke => self.on_remote_choke(now, conn, false),
-            Message::Request(block) => self.on_request(now, conn, block),
-            Message::Piece { block, data } => self.on_piece(now, conn, block, data),
+            Message::Request(block) => self.on_request(now, conn, block)?,
+            Message::Piece { block, data } => self.on_piece(now, conn, block, data)?,
             Message::Cancel(block) => {
+                self.check_block(conn, block)?;
                 self.actions.push(Action::CancelBlock { conn, block });
             }
             Message::Suggest(_) => {
@@ -588,16 +758,38 @@ impl Engine {
             }
             Message::HaveAll => {
                 let full = Bitfield::full(self.geometry.num_pieces());
-                self.on_bitfield(now, conn, &full.to_wire());
+                self.on_bitfield(now, conn, &full.to_wire())?;
             }
             Message::HaveNone => {
                 let empty = Bitfield::new(self.geometry.num_pieces());
-                self.on_bitfield(now, conn, &empty.to_wire());
+                self.on_bitfield(now, conn, &empty.to_wire())?;
             }
             Message::RejectRequest(block) => self.on_reject(now, conn, block),
             Message::AllowedFast(piece) => self.on_allowed_fast(now, conn, piece),
             Message::Extended { ext_id, payload } => self.on_extended(now, conn, ext_id, &payload),
         }
+        Ok(())
+    }
+
+    /// Validate that `block` lies on the torrent's 16 kB block grid —
+    /// the precondition [`Geometry::block_ref`] debug-asserts. A remote
+    /// peer can ship arbitrary `(piece, offset, length)` triples, so
+    /// every block arriving off the wire passes through here before any
+    /// geometry arithmetic.
+    fn check_block(&self, conn: ConnId, block: BlockRef) -> Result<(), EngineError> {
+        let malformed = EngineError::MalformedBlock { conn, block };
+        if block.piece >= self.geometry.num_pieces() {
+            return Err(malformed);
+        }
+        if !block.offset.is_multiple_of(bt_wire::metainfo::BLOCK_LEN)
+            || block.block_index() >= self.geometry.blocks_in_piece(block.piece)
+        {
+            return Err(malformed);
+        }
+        if self.geometry.block_ref(block.piece, block.block_index()) != block {
+            return Err(malformed);
+        }
+        Ok(())
     }
 
     fn on_extended(&mut self, now: Instant, conn: ConnId, ext_id: u8, payload: &[u8]) {
@@ -627,13 +819,14 @@ impl Engine {
         }
     }
 
-    fn on_bitfield(&mut self, now: Instant, conn: ConnId, bits: &[u8]) {
+    fn on_bitfield(&mut self, now: Instant, conn: ConnId, bits: &[u8]) -> Result<(), EngineError> {
         let num_pieces = self.geometry.num_pieces();
         let Some(bf) = Bitfield::from_wire(bits, num_pieces) else {
-            // Protocol violation: drop the peer.
-            self.cleanup_conn(now, conn);
-            self.actions.push(Action::Disconnect { conn });
-            return;
+            // Protocol violation: `handle` drops the peer.
+            return Err(EngineError::BadBitfield {
+                conn,
+                len: bits.len(),
+            });
         };
         let (ip, peer_id, pieces) = {
             let c = self.conns.get_mut(&conn).expect("checked");
@@ -655,13 +848,16 @@ impl Engine {
             );
         }
         self.after_remote_pieces_changed(now, conn);
+        Ok(())
     }
 
-    fn on_have(&mut self, now: Instant, conn: ConnId, piece: u32) {
+    fn on_have(&mut self, now: Instant, conn: ConnId, piece: u32) -> Result<(), EngineError> {
         if piece >= self.geometry.num_pieces() {
-            self.cleanup_conn(now, conn);
-            self.actions.push(Action::Disconnect { conn });
-            return;
+            return Err(EngineError::PieceOutOfRange {
+                conn,
+                piece,
+                num_pieces: self.geometry.num_pieces(),
+            });
         }
         let newly = {
             let c = self.conns.get_mut(&conn).expect("checked");
@@ -682,6 +878,7 @@ impl Engine {
             self.reveal_next_piece(now, conn);
         }
         self.after_remote_pieces_changed(now, conn);
+        Ok(())
     }
 
     /// Remote gained pieces: refresh interest, drop seed↔seed links, and
@@ -762,18 +959,27 @@ impl Engine {
         self.fill_requests(now, conn);
     }
 
-    fn on_request(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
+    fn on_request(
+        &mut self,
+        now: Instant,
+        conn: ConnId,
+        block: BlockRef,
+    ) -> Result<(), EngineError> {
+        // Off-grid requests are protocol violations (and would trip the
+        // geometry arithmetic); a request for a piece we merely don't
+        // have is a legitimate race and stays a reject/ignore below.
+        self.check_block(conn, block)?;
         if self.config.upload_disabled {
-            return; // free rider: silently ignore
+            return Ok(()); // free rider: silently ignore
         }
         let Some(c) = self.conns.get(&conn) else {
-            return;
+            return Ok(());
         };
-        if block.piece >= self.geometry.num_pieces() || !self.own.get(block.piece) {
+        if !self.own.get(block.piece) {
             if c.fast {
                 self.send(now, conn, Message::RejectRequest(block));
             }
-            return;
+            return Ok(());
         }
         if c.am_choking {
             // Fast Extension: allowed-fast pieces are served even while
@@ -781,26 +987,25 @@ impl Engine {
             // protocol silently drops).
             if c.fast {
                 if c.allowed_fast_sent.contains(&block.piece) {
-                    let expected = self.geometry.block_ref(block.piece, block.block_index());
-                    if expected == block {
-                        self.actions.push(Action::SendBlock { conn, block });
-                        return;
-                    }
+                    self.actions.push(Action::SendBlock { conn, block });
+                    return Ok(());
                 }
                 self.send(now, conn, Message::RejectRequest(block));
             }
-            return;
-        }
-        let expected = self.geometry.block_ref(block.piece, block.block_index());
-        if expected != block {
-            return; // misaligned request
+            return Ok(());
         }
         let _ = now;
         self.actions.push(Action::SendBlock { conn, block });
+        Ok(())
     }
 
     /// The transport finished sending a block (for rate accounting).
+    #[deprecated(note = "feed `Input::BlockSent` through `Engine::handle`")]
     pub fn on_block_sent(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
+        self.handle(now, Input::BlockSent { conn, block });
+    }
+
+    fn do_block_sent(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
         if let Some(c) = self.conns.get_mut(&conn) {
             c.upload.record(now, u64::from(block.length));
             c.last_sent = now;
@@ -818,17 +1023,24 @@ impl Engine {
         self.record(now, TraceEvent::BlockSent { peer: conn, block });
     }
 
-    fn on_piece(&mut self, now: Instant, conn: ConnId, block: BlockRef, data: bytes::Bytes) {
+    fn on_piece(
+        &mut self,
+        now: Instant,
+        conn: ConnId,
+        block: BlockRef,
+        data: bytes::Bytes,
+    ) -> Result<(), EngineError> {
+        self.check_block(conn, block)?;
         {
             let Some(c) = self.conns.get_mut(&conn) else {
-                return;
+                return Ok(());
             };
             c.download.record(now, u64::from(block.length));
             c.last_block_received = Some(now);
         }
         let receipt = self.scheduler.on_block_received(conn, block);
         if !receipt.accepted {
-            return;
+            return Ok(());
         }
         self.record(now, TraceEvent::BlockReceived { peer: conn, block });
         if self.data.is_real() {
@@ -845,6 +1057,7 @@ impl Engine {
             self.on_piece_complete(now, piece);
         }
         self.fill_requests(now, conn);
+        Ok(())
     }
 
     fn on_piece_complete(&mut self, now: Instant, piece: u32) {
@@ -988,8 +1201,13 @@ impl Engine {
     // Choke rounds and periodic duties
     // ------------------------------------------------------------------
 
-    /// Run one 10-second rechoke round (§II-C.2). The caller schedules
-    /// this every [`Config::rechoke_period`].
+    /// Run one 10-second rechoke round (§II-C.2) immediately.
+    ///
+    /// Normally the round is driven by [`Input::Tick`] against the
+    /// deadline the engine arms itself ([`Action::SetTimer`] /
+    /// [`Engine::next_wakeup`]); calling this directly is for tests and
+    /// harnesses that want an out-of-band round. It does **not** move
+    /// the armed deadline.
     pub fn rechoke(&mut self, now: Instant) {
         let snapshots: Vec<PeerSnapshot> = {
             let mut v: Vec<PeerSnapshot> =
@@ -1156,33 +1374,40 @@ mod tests {
     }
 
     fn leecher(seed: u64) -> Engine {
-        Engine::new(
-            Config::default(),
+        EngineBuilder::new(
             geometry(),
-            DataMode::Virtual,
             [9u8; 20],
             PeerId::new(ClientKind::Mainline402, seed),
-            IpAddr(100 + seed as u32),
-            Bitfield::new(4),
-            seed,
         )
+        .ip(IpAddr(100 + seed as u32))
+        .rng_seed(seed)
+        .build()
+    }
+
+    fn feed(e: &mut Engine, now: Instant, conn: ConnId, msg: Message) {
+        e.handle(now, Input::Message { conn, msg });
+    }
+
+    fn connect_with(e: &mut Engine, now: Instant, ip: u32, caps: PeerCaps) -> Option<ConnId> {
+        e.handle(
+            now,
+            Input::PeerConnected {
+                ip: IpAddr(ip),
+                peer_id: PeerId::new(ClientKind::Azureus, u64::from(ip)),
+                initiated_by_us: false,
+                caps,
+            },
+        )
+        .take_accepted()
     }
 
     fn connect_peer(e: &mut Engine, now: Instant, ip: u32, pieces: &[u32]) -> ConnId {
-        let id = e
-            .on_peer_connected(
-                now,
-                IpAddr(ip),
-                PeerId::new(ClientKind::Azureus, u64::from(ip)),
-                false,
-                PeerCaps::default(),
-            )
-            .expect("accepted");
+        let id = connect_with(e, now, ip, PeerCaps::default()).expect("accepted");
         let mut bf = Bitfield::new(4);
         for &p in pieces {
             bf.set(p);
         }
-        e.on_message(now, id, Message::Bitfield(bf.to_wire()));
+        feed(e, now, id, Message::Bitfield(bf.to_wire()));
         id
     }
 
@@ -1191,15 +1416,62 @@ mod tests {
     }
 
     #[test]
-    fn start_announces() {
+    fn start_announces_and_arms_timer() {
         let mut e = leecher(1);
-        e.start(Instant::ZERO);
+        e.handle(Instant::ZERO, Input::Start);
         assert_eq!(
             actions_of(&mut e),
-            vec![Action::Announce {
-                event: AnnounceEvent::Started
-            }]
+            vec![
+                Action::Announce {
+                    event: AnnounceEvent::Started
+                },
+                Action::SetTimer {
+                    at: Instant::from_secs(10)
+                },
+            ]
         );
+        assert_eq!(e.next_wakeup(), Some(Instant::from_secs(10)));
+    }
+
+    #[test]
+    fn tick_runs_due_rechoke_and_rearms() {
+        let mut e = EngineBuilder::new(
+            geometry(),
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 9),
+        )
+        .initial_pieces(Bitfield::full(4))
+        .rng_seed(9)
+        .build();
+        e.handle(Instant::ZERO, Input::Start);
+        let _ = e.drain_actions();
+        let id = connect_with(&mut e, Instant::ZERO, 2, PeerCaps::default()).unwrap();
+        feed(
+            &mut e,
+            Instant::ZERO,
+            id,
+            Message::Bitfield(Bitfield::new(4).to_wire()),
+        );
+        feed(&mut e, Instant::ZERO, id, Message::Interested);
+        let _ = e.drain_actions();
+        // An early tick is a harmless no-op: nothing runs, deadline keeps.
+        e.handle(Instant::from_secs(5), Input::Tick);
+        assert!(e.drain_actions().is_empty());
+        assert_eq!(e.next_wakeup(), Some(Instant::from_secs(10)));
+        // A due tick runs the choke round and re-arms the timer.
+        e.handle(Instant::from_secs(10), Input::Tick);
+        let acts = e.drain_actions();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::Unchoke,
+                ..
+            }
+        )));
+        assert!(acts.contains(&Action::SetTimer {
+            at: Instant::from_secs(20)
+        }));
+        assert_eq!(e.next_wakeup(), Some(Instant::from_secs(20)));
     }
 
     #[test]
@@ -1222,15 +1494,7 @@ mod tests {
         let t = Instant::ZERO;
         let _ = connect_peer(&mut e, t, 7, &[0]);
         assert!(!e.accept_incoming(IpAddr(7)));
-        assert!(e
-            .on_peer_connected(
-                t,
-                IpAddr(7),
-                PeerId::new(ClientKind::BitComet, 2),
-                false,
-                PeerCaps::default()
-            )
-            .is_none());
+        assert!(connect_with(&mut e, t, 7, PeerCaps::default()).is_none());
         // A different IP is fine.
         assert!(e.accept_incoming(IpAddr(8)));
     }
@@ -1241,7 +1505,7 @@ mod tests {
         let t = Instant::from_secs(1);
         let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
         let _ = actions_of(&mut e);
-        e.on_message(t, id, Message::Unchoke);
+        feed(&mut e, t, id, Message::Unchoke);
         let acts = actions_of(&mut e);
         let reqs: Vec<&BlockRef> = acts
             .iter()
@@ -1261,7 +1525,7 @@ mod tests {
         let mut e = leecher(1);
         let t = Instant::from_secs(1);
         let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
-        e.on_message(t, id, Message::Unchoke);
+        feed(&mut e, t, id, Message::Unchoke);
         // Serve every requested block until the pipeline drains.
         let mut served = std::collections::HashSet::new();
         let mut all_actions = Vec::new();
@@ -1276,7 +1540,8 @@ mod tests {
                 {
                     if served.insert(b) {
                         any = true;
-                        e.on_message(
+                        feed(
+                            &mut e,
                             t,
                             id,
                             Message::Piece {
@@ -1309,7 +1574,7 @@ mod tests {
         let mut e = leecher(1);
         let t = Instant::from_secs(1);
         let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
-        e.on_message(t, id, Message::Unchoke);
+        feed(&mut e, t, id, Message::Unchoke);
         loop {
             let acts = actions_of(&mut e);
             let reqs: Vec<BlockRef> = acts
@@ -1326,7 +1591,8 @@ mod tests {
                 break;
             }
             for b in reqs {
-                e.on_message(
+                feed(
+                    &mut e,
                     t,
                     id,
                     Message::Piece {
@@ -1343,34 +1609,28 @@ mod tests {
 
     #[test]
     fn serves_requests_only_when_unchoked() {
-        let e = leecher(1);
-        // Give the engine all pieces (construct as seed).
-        let mut seed_engine = Engine::new(
-            Config::default(),
+        let mut seed_engine = EngineBuilder::new(
             geometry(),
-            DataMode::Virtual,
             [9u8; 20],
             PeerId::new(ClientKind::Mainline402, 9),
-            IpAddr(1),
-            Bitfield::full(4),
-            9,
-        );
+        )
+        .ip(IpAddr(1))
+        .initial_pieces(Bitfield::full(4))
+        .rng_seed(9)
+        .build();
         let t = Instant::from_secs(1);
-        let id = seed_engine
-            .on_peer_connected(
-                t,
-                IpAddr(2),
-                PeerId::new(ClientKind::Azureus, 2),
-                false,
-                PeerCaps::default(),
-            )
-            .unwrap();
-        seed_engine.on_message(t, id, Message::Bitfield(Bitfield::new(4).to_wire()));
-        seed_engine.on_message(t, id, Message::Interested);
+        let id = connect_with(&mut seed_engine, t, 2, PeerCaps::default()).unwrap();
+        feed(
+            &mut seed_engine,
+            t,
+            id,
+            Message::Bitfield(Bitfield::new(4).to_wire()),
+        );
+        feed(&mut seed_engine, t, id, Message::Interested);
         let _ = seed_engine.drain_actions();
         let block = geometry().block_ref(0, 0);
         // Choked: request ignored.
-        seed_engine.on_message(t, id, Message::Request(block));
+        feed(&mut seed_engine, t, id, Message::Request(block));
         assert!(seed_engine.drain_actions().is_empty());
         // After a rechoke the interested peer gets unchoked and served.
         seed_engine.rechoke(Instant::from_secs(10));
@@ -1382,39 +1642,32 @@ mod tests {
                 ..
             }
         )));
-        seed_engine.on_message(t, id, Message::Request(block));
+        feed(&mut seed_engine, t, id, Message::Request(block));
         let acts = seed_engine.drain_actions();
         assert_eq!(acts, vec![Action::SendBlock { conn: id, block }]);
-        let _ = e; // silence unused
     }
 
     #[test]
     fn free_rider_never_serves() {
-        let mut fr = Engine::new(
-            Config::free_rider(),
-            geometry(),
-            DataMode::Virtual,
-            [9u8; 20],
-            PeerId::new(ClientKind::FreeRider, 3),
-            IpAddr(3),
-            Bitfield::full(4),
-            3,
-        );
+        let mut fr =
+            EngineBuilder::new(geometry(), [9u8; 20], PeerId::new(ClientKind::FreeRider, 3))
+                .config(Config::free_rider())
+                .ip(IpAddr(3))
+                .initial_pieces(Bitfield::full(4))
+                .rng_seed(3)
+                .build();
         let t = Instant::ZERO;
-        let id = fr
-            .on_peer_connected(
-                t,
-                IpAddr(4),
-                PeerId::new(ClientKind::Azureus, 4),
-                false,
-                PeerCaps::default(),
-            )
-            .unwrap();
-        fr.on_message(t, id, Message::Bitfield(Bitfield::new(4).to_wire()));
-        fr.on_message(t, id, Message::Interested);
+        let id = connect_with(&mut fr, t, 4, PeerCaps::default()).unwrap();
+        feed(
+            &mut fr,
+            t,
+            id,
+            Message::Bitfield(Bitfield::new(4).to_wire()),
+        );
+        feed(&mut fr, t, id, Message::Interested);
         fr.rechoke(Instant::from_secs(10));
         let _ = fr.drain_actions();
-        fr.on_message(t, id, Message::Request(geometry().block_ref(0, 0)));
+        feed(&mut fr, t, id, Message::Request(geometry().block_ref(0, 0)));
         assert!(fr
             .drain_actions()
             .iter()
@@ -1427,23 +1680,22 @@ mod tests {
             max_initiated: 3,
             ..Config::default()
         };
-        let mut e = Engine::new(
-            cfg,
+        let mut e = EngineBuilder::new(
             geometry(),
-            DataMode::Virtual,
             [9u8; 20],
             PeerId::new(ClientKind::Mainline402, 5),
-            IpAddr(50),
-            Bitfield::new(4),
-            5,
-        );
+        )
+        .config(cfg)
+        .ip(IpAddr(50))
+        .rng_seed(5)
+        .build();
         let peers: Vec<PeerEntry> = (1..10)
             .map(|i| PeerEntry {
                 ip: IpAddr(i),
                 port: 6881,
             })
             .collect();
-        e.on_tracker_response(Instant::ZERO, peers);
+        e.handle(Instant::ZERO, Input::TrackerResponse { peers });
         let dials = e
             .drain_actions()
             .into_iter()
@@ -1451,7 +1703,7 @@ mod tests {
             .count();
         assert_eq!(dials, 3);
         // A failed dial frees a slot and redials.
-        e.on_connect_failed(Instant::ZERO);
+        e.handle(Instant::ZERO, Input::ConnectFailed);
         let redials = e
             .drain_actions()
             .into_iter()
@@ -1464,18 +1716,20 @@ mod tests {
     fn self_and_duplicate_candidates_skipped() {
         let mut e = leecher(6);
         let own_ip = e.ip();
-        e.on_tracker_response(
+        e.handle(
             Instant::ZERO,
-            vec![
-                PeerEntry {
-                    ip: own_ip,
-                    port: 1,
-                },
-                PeerEntry {
-                    ip: IpAddr(9),
-                    port: 1,
-                },
-            ],
+            Input::TrackerResponse {
+                peers: vec![
+                    PeerEntry {
+                        ip: own_ip,
+                        port: 1,
+                    },
+                    PeerEntry {
+                        ip: IpAddr(9),
+                        port: 1,
+                    },
+                ],
+            },
         );
         let dials: Vec<Action> = e
             .drain_actions()
@@ -1490,18 +1744,94 @@ mod tests {
     fn malformed_bitfield_drops_peer() {
         let mut e = leecher(1);
         let t = Instant::ZERO;
-        let id = e
-            .on_peer_connected(
+        let id = connect_with(&mut e, t, 7, PeerCaps::default()).unwrap();
+        let err = e
+            .handle(
                 t,
-                IpAddr(7),
-                PeerId::new(ClientKind::Azureus, 7),
-                false,
-                PeerCaps::default(),
+                Input::Message {
+                    conn: id,
+                    msg: Message::Bitfield(vec![0xFF, 0xFF, 0xFF]),
+                },
             )
-            .unwrap();
-        e.on_message(t, id, Message::Bitfield(vec![0xFF, 0xFF, 0xFF]));
+            .take_error();
+        assert_eq!(err, Some(EngineError::BadBitfield { conn: id, len: 3 }));
         let acts = e.drain_actions();
         assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Disconnect { conn } if *conn == id)));
+        assert_eq!(e.peer_set_size(), 0);
+    }
+
+    #[test]
+    fn out_of_range_have_drops_peer() {
+        let mut e = leecher(1);
+        let t = Instant::ZERO;
+        let id = connect_peer(&mut e, t, 7, &[0]);
+        let _ = e.drain_actions();
+        let err = e
+            .handle(
+                t,
+                Input::Message {
+                    conn: id,
+                    msg: Message::Have(99),
+                },
+            )
+            .take_error();
+        assert_eq!(
+            err,
+            Some(EngineError::PieceOutOfRange {
+                conn: id,
+                piece: 99,
+                num_pieces: 4
+            })
+        );
+        assert!(e
+            .drain_actions()
+            .iter()
+            .any(|a| matches!(a, Action::Disconnect { conn } if *conn == id)));
+        assert_eq!(e.peer_set_size(), 0);
+    }
+
+    #[test]
+    fn off_grid_request_drops_peer() {
+        let mut e = EngineBuilder::new(
+            geometry(),
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 9),
+        )
+        .ip(IpAddr(1))
+        .initial_pieces(Bitfield::full(4))
+        .rng_seed(9)
+        .build();
+        let t = Instant::ZERO;
+        let id = connect_with(&mut e, t, 2, PeerCaps::default()).unwrap();
+        feed(&mut e, t, id, Message::Bitfield(Bitfield::new(4).to_wire()));
+        feed(&mut e, t, id, Message::Interested);
+        e.rechoke(Instant::from_secs(10));
+        let _ = e.drain_actions();
+        let bad = BlockRef {
+            piece: 0,
+            offset: 7,
+            length: BLOCK_LEN,
+        };
+        let err = e
+            .handle(
+                t,
+                Input::Message {
+                    conn: id,
+                    msg: Message::Request(bad),
+                },
+            )
+            .take_error();
+        assert_eq!(
+            err,
+            Some(EngineError::MalformedBlock {
+                conn: id,
+                block: bad
+            })
+        );
+        assert!(e
+            .drain_actions()
             .iter()
             .any(|a| matches!(a, Action::Disconnect { conn } if *conn == id)));
         assert_eq!(e.peer_set_size(), 0);
@@ -1512,11 +1842,11 @@ mod tests {
         let mut e = leecher(1);
         let t = Instant::from_secs(1);
         let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
-        e.on_message(t, id, Message::Unchoke);
+        feed(&mut e, t, id, Message::Unchoke);
         let _ = e.drain_actions();
-        e.on_message(t, id, Message::Choke);
+        feed(&mut e, t, id, Message::Choke);
         // After re-unchoke the pipeline refills from scratch.
-        e.on_message(t, id, Message::Unchoke);
+        feed(&mut e, t, id, Message::Unchoke);
         let acts = e.drain_actions();
         let reqs = acts
             .iter()
@@ -1538,34 +1868,28 @@ mod tests {
             fast_extension: true,
             ..Config::default()
         };
-        Engine::new(
-            cfg,
+        EngineBuilder::new(
             geometry(),
-            DataMode::Virtual,
             [9u8; 20],
             PeerId::new(ClientKind::Mainline402, seed),
-            IpAddr(200 + seed as u32),
-            pieces,
-            seed,
         )
+        .config(cfg)
+        .ip(IpAddr(200 + seed as u32))
+        .initial_pieces(pieces)
+        .rng_seed(seed)
+        .build()
     }
+
+    const FAST_CAPS: PeerCaps = PeerCaps {
+        fast: true,
+        extended: false,
+    };
 
     #[test]
     fn fast_negotiation_sends_grants_and_compact_maps() {
         let mut seed_engine = fast_engine(1, Bitfield::full(4));
         let t = Instant::ZERO;
-        let id = seed_engine
-            .on_peer_connected(
-                t,
-                IpAddr(7),
-                PeerId::new(ClientKind::Azureus, 7),
-                false,
-                PeerCaps {
-                    fast: true,
-                    extended: false,
-                },
-            )
-            .unwrap();
+        let id = connect_with(&mut seed_engine, t, 7, FAST_CAPS).unwrap();
         let acts = seed_engine.drain_actions();
         // A complete fast peer advertises HaveAll, not a bitfield.
         assert!(acts
@@ -1599,15 +1923,7 @@ mod tests {
     #[test]
     fn fast_disabled_when_remote_lacks_it() {
         let mut e = fast_engine(2, Bitfield::new(4));
-        let id = e
-            .on_peer_connected(
-                Instant::ZERO,
-                IpAddr(7),
-                PeerId::new(ClientKind::Azureus, 7),
-                false,
-                PeerCaps::default(),
-            )
-            .unwrap();
+        let id = connect_with(&mut e, Instant::ZERO, 7, PeerCaps::default()).unwrap();
         assert!(!e.connection(id).unwrap().fast);
         let acts = e.drain_actions();
         assert!(acts.iter().any(|a| matches!(
@@ -1630,29 +1946,23 @@ mod tests {
     fn allowed_fast_requests_served_while_choked() {
         let mut seed_engine = fast_engine(3, Bitfield::full(4));
         let t = Instant::ZERO;
-        let id = seed_engine
-            .on_peer_connected(
-                t,
-                IpAddr(7),
-                PeerId::new(ClientKind::Azureus, 7),
-                false,
-                PeerCaps {
-                    fast: true,
-                    extended: false,
-                },
-            )
-            .unwrap();
+        let id = connect_with(&mut seed_engine, t, 7, FAST_CAPS).unwrap();
         let granted = seed_engine
             .connection(id)
             .unwrap()
             .allowed_fast_sent
             .clone();
         let _ = seed_engine.drain_actions();
-        seed_engine.on_message(t, id, Message::Bitfield(Bitfield::new(4).to_wire()));
+        feed(
+            &mut seed_engine,
+            t,
+            id,
+            Message::Bitfield(Bitfield::new(4).to_wire()),
+        );
         let _ = seed_engine.drain_actions();
         // Request a granted piece while choked → served.
         let ok_block = geometry().block_ref(granted[0], 0);
-        seed_engine.on_message(t, id, Message::Request(ok_block));
+        feed(&mut seed_engine, t, id, Message::Request(ok_block));
         let acts = seed_engine.drain_actions();
         assert!(acts.contains(&Action::SendBlock {
             conn: id,
@@ -1662,7 +1972,7 @@ mod tests {
         let other = (0..4).find(|p| !granted.contains(p));
         if let Some(p) = other {
             let bad_block = geometry().block_ref(p, 0);
-            seed_engine.on_message(t, id, Message::Request(bad_block));
+            feed(&mut seed_engine, t, id, Message::Request(bad_block));
             let acts = seed_engine.drain_actions();
             assert!(acts.iter().any(|a| matches!(
                 a,
@@ -1676,23 +1986,12 @@ mod tests {
     fn allowed_fast_grant_bootstraps_choked_download() {
         let mut e = fast_engine(4, Bitfield::new(4));
         let t = Instant::ZERO;
-        let id = e
-            .on_peer_connected(
-                t,
-                IpAddr(7),
-                PeerId::new(ClientKind::Azureus, 7),
-                false,
-                PeerCaps {
-                    fast: true,
-                    extended: false,
-                },
-            )
-            .unwrap();
-        e.on_message(t, id, Message::HaveAll);
+        let id = connect_with(&mut e, t, 7, FAST_CAPS).unwrap();
+        feed(&mut e, t, id, Message::HaveAll);
         let _ = e.drain_actions();
         // Still choked, but the remote grants piece 2: requests flow for
         // exactly that piece.
-        e.on_message(t, id, Message::AllowedFast(2));
+        feed(&mut e, t, id, Message::AllowedFast(2));
         let acts = e.drain_actions();
         let reqs: Vec<BlockRef> = acts
             .iter()
@@ -1718,20 +2017,9 @@ mod tests {
     fn reject_releases_block_for_rerequest() {
         let mut e = fast_engine(5, Bitfield::new(4));
         let t = Instant::ZERO;
-        let id = e
-            .on_peer_connected(
-                t,
-                IpAddr(7),
-                PeerId::new(ClientKind::Azureus, 7),
-                false,
-                PeerCaps {
-                    fast: true,
-                    extended: false,
-                },
-            )
-            .unwrap();
-        e.on_message(t, id, Message::HaveAll);
-        e.on_message(t, id, Message::AllowedFast(1));
+        let id = connect_with(&mut e, t, 7, FAST_CAPS).unwrap();
+        feed(&mut e, t, id, Message::HaveAll);
+        feed(&mut e, t, id, Message::AllowedFast(1));
         let reqs: Vec<BlockRef> = e
             .drain_actions()
             .into_iter()
@@ -1746,8 +2034,8 @@ mod tests {
         assert!(!reqs.is_empty());
         // The remote rejects the first request; after an unchoke the same
         // block is requested again.
-        e.on_message(t, id, Message::RejectRequest(reqs[0]));
-        e.on_message(t, id, Message::Unchoke);
+        feed(&mut e, t, id, Message::RejectRequest(reqs[0]));
+        feed(&mut e, t, id, Message::Unchoke);
         let again: Vec<BlockRef> = e
             .drain_actions()
             .into_iter()
@@ -1767,36 +2055,35 @@ mod tests {
 
     #[test]
     fn pex_handshake_and_gossip() {
-        let mk = |seed: u64, ip: u32| {
-            let cfg = Config {
-                pex_enabled: true,
-                ..Config::default()
-            };
-            Engine::new(
-                cfg,
-                geometry(),
-                DataMode::Virtual,
-                [9u8; 20],
-                PeerId::new(ClientKind::Mainline402, seed),
-                IpAddr(ip),
-                Bitfield::new(4),
-                seed,
-            )
+        let cfg = Config {
+            pex_enabled: true,
+            ..Config::default()
         };
-        let mut e = mk(1, 50);
+        let mut e = EngineBuilder::new(
+            geometry(),
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 1),
+        )
+        .config(cfg)
+        .ip(IpAddr(50))
+        .rng_seed(1)
+        .build();
         let caps = PeerCaps {
             fast: false,
             extended: true,
         };
         let t = Instant::ZERO;
         let a = e
-            .on_peer_connected(
+            .handle(
                 t,
-                IpAddr(60),
-                PeerId::new(ClientKind::LibTorrent, 6),
-                false,
-                caps,
+                Input::PeerConnected {
+                    ip: IpAddr(60),
+                    peer_id: PeerId::new(ClientKind::LibTorrent, 6),
+                    initiated_by_us: false,
+                    caps,
+                },
             )
+            .take_accepted()
             .unwrap();
         // The engine advertises ut_pex in its extension handshake.
         let acts = e.drain_actions();
@@ -1811,7 +2098,8 @@ mod tests {
             .unwrap();
         assert_eq!(hs.ut_pex_id(), Some(bt_wire::extension::UT_PEX_LOCAL_ID));
         // The remote replies with its own handshake advertising pex id 1.
-        e.on_message(
+        feed(
+            &mut e,
             t,
             a,
             Message::Extended {
@@ -1822,13 +2110,16 @@ mod tests {
         // Connect a second peer, then run a rechoke past the pex interval:
         // the first peer is gossiped the second's address.
         let _b = e
-            .on_peer_connected(
+            .handle(
                 t,
-                IpAddr(61),
-                PeerId::new(ClientKind::Azureus, 7),
-                false,
-                caps,
+                Input::PeerConnected {
+                    ip: IpAddr(61),
+                    peer_id: PeerId::new(ClientKind::Azureus, 7),
+                    initiated_by_us: false,
+                    caps,
+                },
             )
+            .take_accepted()
             .unwrap();
         let _ = e.drain_actions();
         e.rechoke(Instant::from_secs(70));
@@ -1852,7 +2143,7 @@ mod tests {
             dropped: vec![],
         }
         .encode();
-        e.on_message(t, a, Message::Extended { ext_id: 1, payload });
+        feed(&mut e, t, a, Message::Extended { ext_id: 1, payload });
         let acts = e.drain_actions();
         assert!(
             acts.iter()
@@ -1867,7 +2158,8 @@ mod tests {
         let t = Instant::ZERO;
         let id = connect_peer(&mut e, t, 7, &[0]);
         let _ = e.drain_actions();
-        e.on_message(
+        feed(
+            &mut e,
             t,
             id,
             Message::Extended {
@@ -1894,25 +2186,28 @@ mod tests {
             super_seed: true,
             ..Config::default()
         };
-        let mut e = Engine::new(
-            cfg,
+        let mut e = EngineBuilder::new(
             geometry(),
-            DataMode::Virtual,
             [9u8; 20],
             PeerId::new(ClientKind::SuperSeeder, 1),
-            IpAddr(1),
-            Bitfield::full(4),
-            1,
-        );
+        )
+        .config(cfg)
+        .ip(IpAddr(1))
+        .initial_pieces(Bitfield::full(4))
+        .rng_seed(1)
+        .build();
         let t = Instant::ZERO;
         let a = e
-            .on_peer_connected(
+            .handle(
                 t,
-                IpAddr(2),
-                PeerId::new(ClientKind::Azureus, 2),
-                false,
-                PeerCaps::default(),
+                Input::PeerConnected {
+                    ip: IpAddr(2),
+                    peer_id: PeerId::new(ClientKind::Azureus, 2),
+                    initiated_by_us: false,
+                    caps: PeerCaps::default(),
+                },
             )
+            .take_accepted()
             .unwrap();
         let acts = e.drain_actions();
         // An empty bitfield (not the real one), plus exactly one Have.
@@ -1943,13 +2238,16 @@ mod tests {
         );
         // A second peer is offered a *different* piece (least-revealed).
         let b = e
-            .on_peer_connected(
+            .handle(
                 t,
-                IpAddr(3),
-                PeerId::new(ClientKind::BitComet, 3),
-                false,
-                PeerCaps::default(),
+                Input::PeerConnected {
+                    ip: IpAddr(3),
+                    peer_id: PeerId::new(ClientKind::BitComet, 3),
+                    initiated_by_us: false,
+                    caps: PeerCaps::default(),
+                },
             )
+            .take_accepted()
             .unwrap();
         let haves2: Vec<u32> = e
             .drain_actions()
@@ -1965,9 +2263,9 @@ mod tests {
         assert_eq!(haves2.len(), 1);
         assert_ne!(haves2[0], haves[0], "second peer gets a different piece");
         // When peer A confirms the revealed piece, the next one is offered.
-        e.on_message(t, a, Message::Bitfield(Bitfield::new(4).to_wire()));
+        feed(&mut e, t, a, Message::Bitfield(Bitfield::new(4).to_wire()));
         let _ = e.drain_actions();
-        e.on_message(t, a, Message::Have(haves[0]));
+        feed(&mut e, t, a, Message::Have(haves[0]));
         let haves3: Vec<u32> = e
             .drain_actions()
             .iter()
@@ -1995,10 +2293,18 @@ mod tests {
             session_end: Instant::from_secs(100),
             seed_at: None,
         };
-        let mut e = leecher(1).with_recorder(meta);
+        let mut e = EngineBuilder::new(
+            geometry(),
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 1),
+        )
+        .ip(IpAddr(101))
+        .rng_seed(1)
+        .recorder(meta)
+        .build();
         let t = Instant::from_secs(1);
         let id = connect_peer(&mut e, t, 7, &[0, 1, 2, 3]);
-        e.on_message(t, id, Message::Unchoke);
+        feed(&mut e, t, id, Message::Unchoke);
         let trace = e.take_trace().unwrap();
         assert!(trace
             .iter()
@@ -2010,5 +2316,63 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    /// The deprecated callback shims must stay byte-for-byte equivalent
+    /// to feeding the same events through `handle` — they are kept for
+    /// one PR precisely because downstream code may still rely on them.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_handle() {
+        let mut old = Engine::new(
+            Config::default(),
+            geometry(),
+            DataMode::Virtual,
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 7),
+            IpAddr(107),
+            Bitfield::new(4),
+            7,
+        );
+        let mut new = EngineBuilder::new(
+            geometry(),
+            [9u8; 20],
+            PeerId::new(ClientKind::Mainline402, 7),
+        )
+        .ip(IpAddr(107))
+        .rng_seed(7)
+        .build();
+        let t = Instant::ZERO;
+        old.start(t);
+        new.handle(t, Input::Start);
+        assert_eq!(old.drain_actions(), new.drain_actions());
+        let peer_id = PeerId::new(ClientKind::Azureus, 9);
+        let a = old.on_peer_connected(t, IpAddr(9), peer_id, false, PeerCaps::default());
+        let b = new
+            .handle(
+                t,
+                Input::PeerConnected {
+                    ip: IpAddr(9),
+                    peer_id,
+                    initiated_by_us: false,
+                    caps: PeerCaps::default(),
+                },
+            )
+            .take_accepted();
+        assert_eq!(a, b);
+        assert_eq!(old.drain_actions(), new.drain_actions());
+        let id = a.unwrap();
+        for msg in [
+            Message::Bitfield(Bitfield::full(4).to_wire()),
+            Message::Unchoke,
+        ] {
+            old.on_message(t, id, msg.clone());
+            new.handle(t, Input::Message { conn: id, msg });
+            assert_eq!(old.drain_actions(), new.drain_actions());
+        }
+        let block = geometry().block_ref(0, 0);
+        old.on_block_sent(t, id, block);
+        new.handle(t, Input::BlockSent { conn: id, block });
+        assert_eq!(old.drain_actions(), new.drain_actions());
     }
 }

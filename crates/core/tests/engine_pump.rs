@@ -3,7 +3,7 @@
 //! invariants that unit tests on a single engine cannot see.
 
 use bt_core::engine::PeerCaps;
-use bt_core::{Action, Config, ConnId, DataMode, Engine};
+use bt_core::{Action, Config, ConnId, DataMode, Engine, EngineBuilder, Input};
 use bt_piece::{Bitfield, Geometry};
 use bt_wire::message::{Message, MessageKind};
 use bt_wire::metainfo::{SyntheticContent, BLOCK_LEN};
@@ -36,30 +36,21 @@ impl Pump {
         ));
         let geometry = Geometry::from(&content.metainfo);
         let hash = content.metainfo.info_hash;
+        let build = |cfg: Config, id: u64, pieces_have: Bitfield| {
+            EngineBuilder::new(geometry, hash, PeerId::new(ClientKind::Mainline402, id))
+                .config(cfg)
+                .data(DataMode::Real(content.clone()))
+                .ip(IpAddr(id as u32))
+                .initial_pieces(pieces_have)
+                .rng_seed(id)
+                .build()
+        };
         let a_caps = {
-            let e = Engine::new(
-                a_cfg.clone(),
-                geometry,
-                DataMode::Real(content.clone()),
-                hash,
-                PeerId::new(ClientKind::Mainline402, 1),
-                IpAddr(1),
-                Bitfield::new(pieces),
-                1,
-            );
+            let e = build(a_cfg.clone(), 1, Bitfield::new(pieces));
             PeerCaps::from_reserved(&e.handshake_reserved())
         };
         let b_caps_probe = {
-            let e = Engine::new(
-                b_cfg.clone(),
-                geometry,
-                DataMode::Real(content.clone()),
-                hash,
-                PeerId::new(ClientKind::Mainline402, 2),
-                IpAddr(2),
-                Bitfield::new(pieces),
-                2,
-            );
+            let e = build(b_cfg.clone(), 2, Bitfield::new(pieces));
             PeerCaps::from_reserved(&e.handshake_reserved())
         };
         let a_pieces = if a_seed_full {
@@ -67,32 +58,32 @@ impl Pump {
         } else {
             Bitfield::new(pieces)
         };
-        let mut a = Engine::new(
-            a_cfg,
-            geometry,
-            DataMode::Real(content.clone()),
-            hash,
-            PeerId::new(ClientKind::Mainline402, 1),
-            IpAddr(1),
-            a_pieces,
-            1,
-        );
-        let mut b = Engine::new(
-            b_cfg,
-            geometry,
-            DataMode::Real(content.clone()),
-            hash,
-            PeerId::new(ClientKind::Mainline402, 2),
-            IpAddr(2),
-            Bitfield::new(pieces),
-            2,
-        );
+        let mut a = build(a_cfg, 1, a_pieces);
+        let mut b = build(b_cfg, 2, Bitfield::new(pieces));
         let now = Instant::ZERO;
         let conn_a = a
-            .on_peer_connected(now, IpAddr(2), b.peer_id(), false, b_caps_probe)
+            .handle(
+                now,
+                Input::PeerConnected {
+                    ip: IpAddr(2),
+                    peer_id: b.peer_id(),
+                    initiated_by_us: false,
+                    caps: b_caps_probe,
+                },
+            )
+            .take_accepted()
             .expect("A accepts B");
         let conn_b = b
-            .on_peer_connected(now, IpAddr(1), a.peer_id(), true, a_caps)
+            .handle(
+                now,
+                Input::PeerConnected {
+                    ip: IpAddr(1),
+                    peer_id: a.peer_id(),
+                    initiated_by_us: true,
+                    caps: a_caps,
+                },
+            )
+            .take_accepted()
             .expect("B accepts A");
         Pump {
             a,
@@ -123,7 +114,7 @@ impl Pump {
                     }
                     Action::SendBlock { block, .. } => {
                         let data = content.block_bytes(block.piece, block.block_index());
-                        engine.on_block_sent(self.now, conn, block);
+                        engine.handle(self.now, Input::BlockSent { conn, block });
                         let msg = Message::Piece {
                             block,
                             data: data.into(),
@@ -134,8 +125,9 @@ impl Pump {
                             self.to_a.push_back(msg);
                         }
                     }
-                    // No transport queues to cancel from in this pump.
-                    Action::CancelBlock { .. } => {}
+                    // No transport queues to cancel from in this pump,
+                    // and no event loop to arm timers in.
+                    Action::CancelBlock { .. } | Action::SetTimer { .. } => {}
                     Action::Announce { .. } | Action::Connect { .. } => {}
                     Action::Disconnect { .. } => {}
                 }
@@ -152,11 +144,23 @@ impl Pump {
             }
             while let Some(msg) = self.to_b.pop_front() {
                 self.log.push((true, msg.kind()));
-                self.b.on_message(self.now, self.conn_b, msg);
+                self.b.handle(
+                    self.now,
+                    Input::Message {
+                        conn: self.conn_b,
+                        msg,
+                    },
+                );
             }
             while let Some(msg) = self.to_a.pop_front() {
                 self.log.push((false, msg.kind()));
-                self.a.on_message(self.now, self.conn_a, msg);
+                self.a.handle(
+                    self.now,
+                    Input::Message {
+                        conn: self.conn_a,
+                        msg,
+                    },
+                );
             }
         }
     }

@@ -1,0 +1,609 @@
+//! A non-blocking TCP driver for the sans-io [`Engine`].
+//!
+//! One [`NetRuntime`] owns one engine, one listening socket, and every
+//! connection the engine holds. Its poll loop follows the driver
+//! contract from [`bt_core::driver`]:
+//!
+//! 1. feed [`Input::Start`] once;
+//! 2. translate socket events into [`Input`]s (accepted handshakes,
+//!    decoded frames, EOFs, dial failures);
+//! 3. drain and execute the [`Action`]s after every `handle` call —
+//!    encode outbound frames, dial, announce, close;
+//! 4. feed [`Input::Tick`] whenever the virtual clock passes
+//!    [`Engine::next_wakeup`] (the runtime polls the deadline, so
+//!    [`Action::SetTimer`] needs no dedicated timer machinery).
+//!
+//! Handshaking, framing, keep-alives and timeouts all live here; the
+//! engine never sees a byte of transport.
+
+use crate::clock::AccelClock;
+use crate::tracker::LoopbackTracker;
+use bt_core::engine::PeerCaps;
+use bt_core::{Action, ConnId, DataMode, Engine, Input};
+use bt_wire::handshake::{Handshake, HANDSHAKE_LEN};
+use bt_wire::message::{BlockRef, Decoder, Message, DEFAULT_MAX_FRAME};
+use bt_wire::peer_id::{IpAddr, PeerId};
+use bt_wire::time::{Duration, Instant};
+use bt_wire::tracker::{AnnounceEvent, DEFAULT_NUM_WANT};
+use bytes::BytesMut;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Derive a peer's engine-level address from its peer ID (FNV-1a, 32
+/// bit). Both ends of a TCP connection compute the same value from the
+/// handshake, so the engine's per-address bookkeeping (one connection
+/// per IP, candidate de-duplication) works without real addressing.
+pub fn peer_ip(peer_id: &PeerId) -> IpAddr {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in peer_id.0.iter() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    IpAddr(h)
+}
+
+/// Transport-level tunables (the protocol ones live in `bt_core::Config`).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Wall-clock sleep between poll passes when nothing progressed.
+    pub poll_wait: std::time::Duration,
+    /// How many times to try one dial before reporting
+    /// [`Input::ConnectFailed`].
+    pub dial_attempts: u32,
+    /// Wall-clock wait before the first dial retry; doubles per retry.
+    pub dial_backoff: std::time::Duration,
+    /// Wall-clock budget for a handshake to complete both directions.
+    pub handshake_timeout: std::time::Duration,
+    /// Virtual-time silence after which a connection is dropped. Must
+    /// comfortably exceed the engine's 120 s keep-alive interval.
+    pub idle_timeout: Duration,
+    /// Maximum accepted frame size (codec guard).
+    pub max_frame: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            poll_wait: std::time::Duration::from_micros(200),
+            dial_attempts: 3,
+            dial_backoff: std::time::Duration::from_millis(2),
+            handshake_timeout: std::time::Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(1800),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Counters a runtime accumulates while driving its engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NetStats {
+    /// `Input::Tick`s fed (choke rounds and other timer work).
+    pub ticks: u64,
+    /// Wire messages decoded and fed to the engine.
+    pub messages_in: u64,
+    /// `piece` frames fully flushed to a socket.
+    pub blocks_sent: u64,
+    /// Dials that exhausted their retry budget.
+    pub dial_failures: u64,
+    /// Protocol violations reported by the engine (peer dropped).
+    pub protocol_errors: u64,
+    /// Connections closed for any reason.
+    pub disconnects: u64,
+}
+
+/// One length-prefixed frame queued for write, with an optional block
+/// marker so the engine learns when the upload actually left the socket.
+struct OutFrame {
+    buf: Vec<u8>,
+    written: usize,
+    block: Option<BlockRef>,
+}
+
+/// An established connection: socket, incremental decoder, write queue.
+struct NetConn {
+    stream: TcpStream,
+    decoder: Decoder,
+    out: VecDeque<OutFrame>,
+    last_recv: Instant,
+}
+
+/// A connection still exchanging 68-byte handshakes.
+struct Pending {
+    stream: TcpStream,
+    out: [u8; HANDSHAKE_LEN],
+    out_written: usize,
+    inbuf: Vec<u8>,
+    initiated: bool,
+    deadline: std::time::Instant,
+}
+
+/// An outbound dial with remaining retry budget.
+struct Dial {
+    addr: SocketAddr,
+    attempts_left: u32,
+    backoff: std::time::Duration,
+    next_try: std::time::Instant,
+}
+
+/// Drives one [`Engine`] over real TCP sockets.
+pub struct NetRuntime {
+    engine: Engine,
+    data: DataMode,
+    listener: TcpListener,
+    tracker: Arc<LoopbackTracker>,
+    clock: AccelClock,
+    cfg: NetConfig,
+    conns: HashMap<ConnId, NetConn>,
+    pending: Vec<Pending>,
+    dials: Vec<Dial>,
+    stats: NetStats,
+    counted_complete: bool,
+}
+
+impl NetRuntime {
+    /// Wrap an engine with its transport. `data` must be the same
+    /// [`DataMode`] the engine was built with — the runtime materialises
+    /// block payloads from it when executing [`Action::SendBlock`].
+    pub fn new(
+        engine: Engine,
+        data: DataMode,
+        listener: TcpListener,
+        tracker: Arc<LoopbackTracker>,
+        clock: AccelClock,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetRuntime> {
+        listener.set_nonblocking(true)?;
+        Ok(NetRuntime {
+            engine,
+            data,
+            listener,
+            tracker,
+            clock,
+            cfg,
+            conns: HashMap::new(),
+            pending: Vec::new(),
+            dials: Vec::new(),
+            stats: NetStats::default(),
+            counted_complete: false,
+        })
+    }
+
+    /// The engine being driven.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (e.g. `take_trace` after [`run`](Self::run)).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The listener's bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.clock.now()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Drive the engine until `stop` is set or `max_wall` elapses.
+    ///
+    /// If `completed` is given, the counter is incremented once when the
+    /// engine first reaches seed state — pass it for leechers so a
+    /// coordinator can detect swarm completion. Announces `Stopped` to
+    /// the tracker on the way out.
+    pub fn run(
+        &mut self,
+        stop: &AtomicBool,
+        max_wall: std::time::Duration,
+        completed: Option<&AtomicUsize>,
+    ) -> NetStats {
+        let started = std::time::Instant::now();
+        let now = self.clock.now();
+        self.feed(now, Input::Start);
+        while !stop.load(Ordering::Relaxed) && started.elapsed() < max_wall {
+            let now = self.clock.now();
+            self.accept_pass(now);
+            self.dial_pass(now);
+            self.pending_pass(now);
+            let mut progressed = self.read_pass(now);
+            progressed |= self.write_pass(now);
+            self.timer_pass(now);
+            self.idle_pass(now);
+            if let Some(counter) = completed {
+                if !self.counted_complete && self.engine.is_seed() {
+                    self.counted_complete = true;
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            if !progressed {
+                std::thread::sleep(self.cfg.poll_wait);
+            }
+        }
+        self.tracker
+            .announce(self.engine.ip(), AnnounceEvent::Stopped, 0);
+        self.stats
+    }
+
+    /// Feed one input and execute everything the engine asks for.
+    fn feed(&mut self, now: Instant, input: Input) {
+        let actions = self.engine.handle(now, input);
+        if actions.take_error().is_some() {
+            self.stats.protocol_errors += 1;
+        }
+        let batch = actions.take();
+        self.execute(now, batch);
+    }
+
+    fn execute(&mut self, now: Instant, batch: Vec<Action>) {
+        for action in batch {
+            match action {
+                Action::Send { conn, msg } => self.queue_msg(conn, msg, None),
+                Action::SendBlock { conn, block } => {
+                    let data = self.data.block_bytes(block.piece, block.block_index());
+                    self.queue_msg(conn, Message::Piece { block, data }, Some(block));
+                }
+                Action::CancelBlock { conn, block } => {
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        // Honour the cancel only if no byte of the frame
+                        // has left the socket yet.
+                        if let Some(pos) = c.out.iter().position(|f| f.block == Some(block)) {
+                            if c.out[pos].written == 0 {
+                                c.out.remove(pos);
+                            }
+                        }
+                    }
+                }
+                Action::Disconnect { conn } => {
+                    // Engine-initiated close: its state is already gone.
+                    if self.conns.remove(&conn).is_some() {
+                        self.stats.disconnects += 1;
+                    }
+                }
+                Action::Announce { event } => {
+                    let peers =
+                        self.tracker
+                            .announce(self.engine.ip(), event, DEFAULT_NUM_WANT as usize);
+                    self.feed(now, Input::TrackerResponse { peers });
+                }
+                Action::Connect { peer } => match self.tracker.resolve(peer.ip) {
+                    Some(addr) => self.dials.push(Dial {
+                        addr,
+                        attempts_left: self.cfg.dial_attempts,
+                        backoff: self.cfg.dial_backoff,
+                        next_try: std::time::Instant::now(),
+                    }),
+                    None => {
+                        self.stats.dial_failures += 1;
+                        self.feed(now, Input::ConnectFailed);
+                    }
+                },
+                // Pull-style timers: every poll pass compares the clock
+                // against `next_wakeup()`, so the event needs no storage.
+                Action::SetTimer { .. } => {}
+            }
+        }
+    }
+
+    fn queue_msg(&mut self, conn: ConnId, msg: Message, block: Option<BlockRef>) {
+        if let Some(c) = self.conns.get_mut(&conn) {
+            let mut buf = BytesMut::with_capacity(msg.wire_len());
+            msg.encode(&mut buf);
+            c.out.push_back(OutFrame {
+                buf: buf.to_vec(),
+                written: 0,
+                block,
+            });
+        }
+    }
+
+    /// Accept every waiting inbound connection into the handshake stage.
+    fn accept_pass(&mut self, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.start_handshake(now, stream, false),
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Try every due dial; retry with doubled backoff, then give up.
+    fn dial_pass(&mut self, now: Instant) {
+        let wall = std::time::Instant::now();
+        let due: Vec<usize> = (0..self.dials.len())
+            .filter(|&i| self.dials[i].next_try <= wall)
+            .collect();
+        // Process from the back so removals keep earlier indices valid.
+        for i in due.into_iter().rev() {
+            let d = self.dials.remove(i);
+            match TcpStream::connect(d.addr) {
+                Ok(stream) => self.start_handshake(now, stream, true),
+                Err(_) if d.attempts_left > 1 => self.dials.push(Dial {
+                    addr: d.addr,
+                    attempts_left: d.attempts_left - 1,
+                    backoff: d.backoff * 2,
+                    next_try: wall + d.backoff,
+                }),
+                Err(_) => {
+                    self.stats.dial_failures += 1;
+                    self.feed(now, Input::ConnectFailed);
+                }
+            }
+        }
+    }
+
+    fn start_handshake(&mut self, now: Instant, stream: TcpStream, initiated: bool) {
+        if stream.set_nonblocking(true).is_err() {
+            if initiated {
+                self.stats.dial_failures += 1;
+                self.feed(now, Input::ConnectFailed);
+            }
+            return;
+        }
+        let mut hs = Handshake::new(self.engine.info_hash(), self.engine.peer_id());
+        hs.reserved = self.engine.handshake_reserved();
+        self.pending.push(Pending {
+            stream,
+            out: hs.encode(),
+            out_written: 0,
+            inbuf: Vec::with_capacity(HANDSHAKE_LEN),
+            initiated,
+            deadline: std::time::Instant::now() + self.cfg.handshake_timeout,
+        });
+    }
+
+    /// Pump every pending handshake; promote completed ones.
+    fn pending_pass(&mut self, now: Instant) {
+        let wall = std::time::Instant::now();
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut keep = Vec::with_capacity(pending.len());
+        for mut p in pending.drain(..) {
+            let mut failed = wall >= p.deadline;
+            // Push our handshake out.
+            while !failed && p.out_written < HANDSHAKE_LEN {
+                match p.stream.write(&p.out[p.out_written..]) {
+                    Ok(0) => failed = true,
+                    Ok(n) => p.out_written += n,
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => failed = true,
+                }
+            }
+            // Pull theirs in.
+            while !failed && p.inbuf.len() < HANDSHAKE_LEN {
+                let mut buf = [0u8; HANDSHAKE_LEN];
+                let want = HANDSHAKE_LEN - p.inbuf.len();
+                match p.stream.read(&mut buf[..want]) {
+                    Ok(0) => failed = true,
+                    Ok(n) => p.inbuf.extend_from_slice(&buf[..n]),
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => failed = true,
+                }
+            }
+            if failed {
+                if p.initiated {
+                    self.stats.dial_failures += 1;
+                    self.feed(now, Input::ConnectFailed);
+                }
+                continue;
+            }
+            if p.out_written == HANDSHAKE_LEN && p.inbuf.len() == HANDSHAKE_LEN {
+                match Handshake::decode(&p.inbuf) {
+                    Ok(hs) if hs.info_hash == self.engine.info_hash() => {
+                        self.promote(now, p.stream, hs, p.initiated);
+                    }
+                    _ => {
+                        // Wrong torrent or garbage: silently drop, as the
+                        // reference client does.
+                        if p.initiated {
+                            self.stats.dial_failures += 1;
+                            self.feed(now, Input::ConnectFailed);
+                        }
+                    }
+                }
+            } else {
+                keep.push(p);
+            }
+        }
+        self.pending = keep;
+    }
+
+    /// Hand a completed handshake to the engine; wire up the connection
+    /// if it accepts, drop the socket if it refuses.
+    fn promote(&mut self, now: Instant, stream: TcpStream, hs: Handshake, initiated: bool) {
+        let caps = PeerCaps::from_reserved(&hs.reserved);
+        let actions = self.engine.handle(
+            now,
+            Input::PeerConnected {
+                ip: peer_ip(&hs.peer_id),
+                peer_id: hs.peer_id,
+                initiated_by_us: initiated,
+                caps,
+            },
+        );
+        let accepted = actions.take_accepted();
+        let batch = actions.take();
+        if let Some(conn) = accepted {
+            // Insert before executing: the batch already carries this
+            // connection's bitfield sends.
+            self.conns.insert(
+                conn,
+                NetConn {
+                    stream,
+                    decoder: Decoder::new(self.cfg.max_frame),
+                    out: VecDeque::new(),
+                    last_recv: now,
+                },
+            );
+        }
+        // On refusal (duplicate address, peer-set full) the socket drops
+        // here; the remote sees EOF and tells its own engine.
+        self.execute(now, batch);
+    }
+
+    /// Read available bytes on every connection and feed decoded frames.
+    fn read_pass(&mut self, now: Instant) -> bool {
+        let mut progressed = false;
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            let mut msgs = Vec::new();
+            let mut dead = false;
+            let Some(c) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match c.stream.read(&mut buf) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.decoder.feed(&buf[..n]);
+                        c.last_recv = now;
+                        progressed = true;
+                    }
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match c.decoder.next_message() {
+                    Ok(Some(msg)) => msgs.push(msg),
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Framing violation: the stream is unrecoverable.
+                        self.stats.protocol_errors += 1;
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            for msg in msgs {
+                // The engine may drop the peer mid-batch (protocol
+                // error); discard the rest of its frames if so.
+                if self.conns.contains_key(&id) {
+                    self.stats.messages_in += 1;
+                    self.feed(now, Input::Message { conn: id, msg });
+                }
+            }
+            if dead && self.conns.contains_key(&id) {
+                self.drop_conn(now, id);
+            }
+        }
+        progressed
+    }
+
+    /// Flush write queues; report fully-sent blocks to the engine.
+    fn write_pass(&mut self, now: Instant) -> bool {
+        let mut progressed = false;
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            let mut sent_blocks = Vec::new();
+            let mut dead = false;
+            let Some(c) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            while let Some(front) = c.out.front_mut() {
+                match c.stream.write(&front.buf[front.written..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        front.written += n;
+                        progressed = true;
+                        if front.written == front.buf.len() {
+                            if let Some(block) = front.block {
+                                sent_blocks.push(block);
+                            }
+                            c.out.pop_front();
+                        }
+                    }
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            for block in sent_blocks {
+                self.stats.blocks_sent += 1;
+                if self.conns.contains_key(&id) {
+                    self.feed(now, Input::BlockSent { conn: id, block });
+                }
+            }
+            if dead && self.conns.contains_key(&id) {
+                self.drop_conn(now, id);
+            }
+        }
+        progressed
+    }
+
+    /// Feed ticks for every elapsed engine deadline.
+    fn timer_pass(&mut self, now: Instant) {
+        // `do_tick` re-arms strictly later than `now`, so this loop
+        // terminates; the guard caps pathological catch-up bursts.
+        let mut guard = 0;
+        while let Some(at) = self.engine.next_wakeup() {
+            if now < at || guard >= 64 {
+                break;
+            }
+            guard += 1;
+            self.stats.ticks += 1;
+            self.feed(now, Input::Tick);
+        }
+    }
+
+    /// Drop connections that have been silent too long (virtual time).
+    fn idle_pass(&mut self, now: Instant) {
+        let stale: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| now.saturating_since(c.last_recv) > self.cfg.idle_timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            self.drop_conn(now, id);
+        }
+    }
+
+    /// Transport-initiated close: remove the socket, then tell the engine.
+    fn drop_conn(&mut self, now: Instant, id: ConnId) {
+        self.conns.remove(&id);
+        self.stats.disconnects += 1;
+        self.feed(now, Input::PeerDisconnected { conn: id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_wire::peer_id::ClientKind;
+
+    #[test]
+    fn peer_ip_is_deterministic_and_spreads() {
+        let a = PeerId::new(ClientKind::Mainline402, 1);
+        let b = PeerId::new(ClientKind::Mainline402, 2);
+        assert_eq!(peer_ip(&a), peer_ip(&a));
+        assert_ne!(peer_ip(&a), peer_ip(&b));
+        assert_ne!(peer_ip(&a), IpAddr(0));
+    }
+}

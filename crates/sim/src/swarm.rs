@@ -23,7 +23,7 @@
 use crate::behavior::{BehaviorProfile, Role};
 use crate::events::EventQueue;
 use crate::tracker::{PeerIdx, SimTracker};
-use bt_core::{Action, Config, ConnId, DataMode, Engine};
+use bt_core::{Action, Config, ConnId, DataMode, Engine, EngineBuilder, Input};
 use bt_instrument::trace::{Trace, TraceMeta};
 use bt_piece::{Bitfield, Geometry};
 use bt_wire::handshake::Handshake;
@@ -186,7 +186,10 @@ enum Ev {
         to: PeerIdx,
         peers: Vec<PeerEntry>,
     },
-    Rechoke(PeerIdx),
+    /// A peer's engine timer ([`Action::SetTimer`]) came due: feed
+    /// [`Input::Tick`]. Early/stale ticks are harmless no-ops by the
+    /// driver contract, so superseded timers need no cancellation.
+    EngineTick(PeerIdx),
     TransferRound,
     Sample,
 }
@@ -288,16 +291,12 @@ impl Swarm {
                 spec.prepop_completion_max,
                 &mut rng,
             );
-            let mut engine = Engine::new(
-                cfg,
-                geometry,
-                data.clone(),
-                info_hash,
-                peer_id,
-                ip,
-                initial,
-                spec.seed.wrapping_mul(31).wrapping_add(idx as u64),
-            );
+            let mut builder = EngineBuilder::new(geometry, info_hash, peer_id)
+                .config(cfg)
+                .data(data.clone())
+                .ip(ip)
+                .initial_pieces(initial)
+                .rng_seed(spec.seed.wrapping_mul(31).wrapping_add(idx as u64));
             if spec.local == Some(idx) {
                 let meta = TraceMeta {
                     torrent: "swarm".to_owned(),
@@ -317,8 +316,9 @@ impl Swarm {
                     session_end: Instant(spec.duration.0),
                     seed_at: None,
                 };
-                engine = engine.with_recorder(meta);
+                builder = builder.recorder(meta);
             }
+            let engine = builder.build();
             let was_seed = engine.is_seed();
             peers.push(SimPeer {
                 engine,
@@ -463,7 +463,9 @@ impl Swarm {
             Ev::Restart(idx) => self.on_restart(now, idx),
             Ev::Deliver { to, conn, msg } => {
                 if self.peers[to].alive {
-                    self.peers[to].engine.on_message(now, conn, msg);
+                    self.peers[to]
+                        .engine
+                        .handle(now, Input::Message { conn, msg });
                     self.process_actions(now, to);
                 }
             }
@@ -471,7 +473,7 @@ impl Swarm {
             Ev::NotifyDisconnect { to, conn } => {
                 let p = &mut self.peers[to];
                 if p.alive {
-                    p.engine.on_peer_disconnected(now, conn);
+                    p.engine.handle(now, Input::PeerDisconnected { conn });
                     p.links.remove(&conn);
                     p.uploads.remove(&conn);
                     p.head_credit.remove(&conn);
@@ -480,16 +482,16 @@ impl Swarm {
             }
             Ev::TrackerResponse { to, peers } => {
                 if self.peers[to].alive {
-                    self.peers[to].engine.on_tracker_response(now, peers);
+                    self.peers[to]
+                        .engine
+                        .handle(now, Input::TrackerResponse { peers });
                     self.process_actions(now, to);
                 }
             }
-            Ev::Rechoke(idx) => {
+            Ev::EngineTick(idx) => {
                 if self.peers[idx].alive {
-                    self.peers[idx].engine.rechoke(now);
+                    self.peers[idx].engine.handle(now, Input::Tick);
                     self.process_actions(now, idx);
-                    let next = now + self.peers[idx].engine.config.rechoke_period;
-                    self.queue.schedule(next, Ev::Rechoke(idx));
                 }
             }
             Ev::TransferRound => {
@@ -523,13 +525,17 @@ impl Swarm {
             }
             p.alive = true;
         }
-        self.peers[idx].engine.start(now);
+        self.peers[idx].engine.handle(now, Input::Start);
         self.process_actions(now, idx);
         // Stagger rechoke phases so the swarm's choke rounds do not all
-        // fire on the same instant.
+        // fire on the same instant. This overrides the default first
+        // deadline `Start` armed; the superseded timer event becomes a
+        // stale no-op tick.
         let phase = Duration(self.rng.random_range(0..10_000_000));
-        self.queue
-            .schedule(now + phase + Duration::from_secs(1), Ev::Rechoke(idx));
+        self.peers[idx]
+            .engine
+            .schedule_rechoke(now + phase + Duration::from_secs(1));
+        self.process_actions(now, idx);
         // Scheduled departures.
         let depart = match self.peers[idx].profile.role {
             Role::Churner => Some(now + Duration::from_millis(self.rng.random_range(1500..8000))),
@@ -586,22 +592,27 @@ impl Swarm {
                 .wrapping_add(u64::from(p.restarts) * 104_729),
         );
         let surviving = p.engine.own_pieces().clone();
-        p.engine = Engine::new(
-            cfg,
-            self.geometry,
-            self.data.clone(),
-            self.info_hash,
-            new_id,
-            self.ip_of[idx],
-            surviving,
-            self.spec
-                .seed
-                .wrapping_mul(31)
-                .wrapping_add(idx as u64)
-                .wrapping_add(u64::from(p.restarts)),
-        );
+        let pending = p.engine.next_wakeup();
+        p.engine = EngineBuilder::new(self.geometry, self.info_hash, new_id)
+            .config(cfg)
+            .data(self.data.clone())
+            .ip(self.ip_of[idx])
+            .initial_pieces(surviving)
+            .rng_seed(
+                self.spec
+                    .seed
+                    .wrapping_mul(31)
+                    .wrapping_add(idx as u64)
+                    .wrapping_add(u64::from(p.restarts)),
+            )
+            .build();
         p.was_seed = p.engine.is_seed();
-        p.engine.start(now);
+        p.engine.handle(now, Input::Start);
+        if let Some(at) = pending {
+            // Continue the established choke-round chain instead of
+            // phase-shifting it: a crash must not move the rechoke grid.
+            p.engine.schedule_rechoke(at.max(now));
+        }
         self.process_actions(now, idx);
         if let Some(period) = self.peers[idx].profile.restart_after {
             self.queue.schedule(now + period, Ev::Restart(idx));
@@ -659,22 +670,40 @@ impl Swarm {
         let caps_b = bt_core::engine::PeerCaps::from_reserved(&decoded_b.reserved);
 
         let from_ip = self.ip_of[from];
-        let to_conn =
-            self.peers[to]
-                .engine
-                .on_peer_connected(now, from_ip, decoded_a.peer_id, false, caps_a);
+        let to_conn = self.peers[to]
+            .engine
+            .handle(
+                now,
+                Input::PeerConnected {
+                    ip: from_ip,
+                    peer_id: decoded_a.peer_id,
+                    initiated_by_us: false,
+                    caps: caps_a,
+                },
+            )
+            .take_accepted();
         let Some(to_conn) = to_conn else {
             self.fail_dial(now, from);
             return;
         };
-        let from_conn =
-            self.peers[from]
-                .engine
-                .on_peer_connected(now, to_ip, decoded_b.peer_id, true, caps_b);
+        let from_conn = self.peers[from]
+            .engine
+            .handle(
+                now,
+                Input::PeerConnected {
+                    ip: to_ip,
+                    peer_id: decoded_b.peer_id,
+                    initiated_by_us: true,
+                    caps: caps_b,
+                },
+            )
+            .take_accepted();
         let Some(from_conn) = from_conn else {
             // The initiator refused its own dial (duplicate IP race):
             // tear down the acceptor side.
-            self.peers[to].engine.on_peer_disconnected(now, to_conn);
+            self.peers[to]
+                .engine
+                .handle(now, Input::PeerDisconnected { conn: to_conn });
             self.process_actions(now, to);
             return;
         };
@@ -696,7 +725,7 @@ impl Swarm {
 
     fn fail_dial(&mut self, now: Instant, from: PeerIdx) {
         if self.peers[from].alive {
-            self.peers[from].engine.on_connect_failed(now);
+            self.peers[from].engine.handle(now, Input::ConnectFailed);
             self.process_actions(now, from);
         }
     }
@@ -776,6 +805,9 @@ impl Swarm {
                             to_ip: peer.ip,
                         },
                     );
+                }
+                Action::SetTimer { at } => {
+                    self.queue.schedule(at, Ev::EngineTick(idx));
                 }
             }
         }
@@ -919,7 +951,13 @@ impl Swarm {
             v[pos] ^= 0xFF;
             data = Bytes::from(v);
         }
-        self.peers[from].engine.on_block_sent(now, from_conn, block);
+        self.peers[from].engine.handle(
+            now,
+            Input::BlockSent {
+                conn: from_conn,
+                block,
+            },
+        );
         self.process_actions(now, from);
         let lat = self.peers[from]
             .links

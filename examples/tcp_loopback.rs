@@ -1,10 +1,11 @@
 //! The engine over real TCP sockets.
 //!
-//! `bt_core::Engine` is transport-agnostic: the simulator is only one
-//! driver. This example proves it by transferring a real, SHA-1-verified
-//! torrent between two engines over an actual TCP connection on
-//! localhost — genuine handshake bytes, genuine length-prefixed frames
-//! through `bt_wire::message::Decoder`, no simulator involved.
+//! `bt_core::Engine` is a sans-io state machine: the simulator is only
+//! one driver. This example proves it by running a small swarm — one
+//! seed, two leechers — through `bt_net`'s socket runtime: genuine
+//! handshake bytes, genuine length-prefixed frames through the
+//! `bt_wire` codec, one poll-loop thread per peer, and SHA-1
+//! verification of every piece on arrival.
 //!
 //! Protocol timers are accelerated (1 real millisecond = 1 virtual
 //! second) so the 10-second choke rounds pass quickly.
@@ -13,186 +14,38 @@
 //! cargo run --release --example tcp_loopback
 //! ```
 
-use bt_repro::core::engine::PeerCaps;
-use bt_repro::core::{Action, Config, DataMode, Engine};
-use bt_repro::piece::{Bitfield, Geometry};
-use bt_repro::wire::handshake::{Handshake, HANDSHAKE_LEN};
-use bt_repro::wire::message::{Decoder, Message};
-use bt_repro::wire::metainfo::SyntheticContent;
-use bt_repro::wire::peer_id::{ClientKind, IpAddr, PeerId};
-use bt_repro::wire::time::Instant;
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
-
-/// Accelerated virtual clock: 1 ms wall time = 1 s virtual time.
-fn virtual_now(start: std::time::Instant) -> Instant {
-    Instant(start.elapsed().as_millis() as u64 * 1_000_000 / 1_000 * 1000)
-}
-
-/// Drive one engine over one TCP stream until `done` says stop.
-fn drive(
-    mut engine: Engine,
-    mut stream: TcpStream,
-    content: Arc<SyntheticContent>,
-    remote_ip: IpAddr,
-    initiated: bool,
-    label: &str,
-) -> Engine {
-    stream.set_nonblocking(true).expect("nonblocking");
-    let start = std::time::Instant::now();
-
-    // Handshake: real bytes both ways.
-    let mut hs = Handshake::new(content.metainfo.info_hash, engine.peer_id());
-    hs.reserved = engine.handshake_reserved();
-    let mut blocking = stream.try_clone().expect("clone");
-    blocking
-        .set_nonblocking(false)
-        .expect("blocking for handshake");
-    blocking.write_all(&hs.encode()).expect("send handshake");
-    let mut buf = [0u8; HANDSHAKE_LEN];
-    blocking.read_exact(&mut buf).expect("recv handshake");
-    let remote_hs = Handshake::decode(&buf).expect("valid handshake");
-    assert_eq!(
-        remote_hs.info_hash, content.metainfo.info_hash,
-        "info-hash mismatch"
-    );
-    stream.set_nonblocking(true).expect("nonblocking again");
-
-    let conn = engine
-        .on_peer_connected(
-            virtual_now(start),
-            remote_ip,
-            remote_hs.peer_id,
-            initiated,
-            PeerCaps::from_reserved(&remote_hs.reserved),
-        )
-        .expect("accepted");
-
-    let mut decoder = Decoder::default();
-    let mut read_buf = [0u8; 64 * 1024];
-    let mut last_rechoke = virtual_now(start);
-    let mut closed = false;
-    loop {
-        let now = virtual_now(start);
-        // Periodic choke rounds at the engine's configured cadence.
-        if now.saturating_since(last_rechoke) >= engine.config.rechoke_period {
-            engine.rechoke(now);
-            last_rechoke = now;
-        }
-        // Read whatever the socket has.
-        match stream.read(&mut read_buf) {
-            Ok(0) => closed = true,
-            Ok(n) => {
-                decoder.feed(&read_buf[..n]);
-                while let Some(msg) = decoder.next_message().expect("well-formed frame") {
-                    engine.on_message(virtual_now(start), conn, msg);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-            Err(e) => panic!("{label}: read error: {e}"),
-        }
-        // Execute the engine's actions over the socket.
-        for action in engine.drain_actions() {
-            match action {
-                Action::Send { msg, .. } => {
-                    stream_write(&mut stream, &msg.encode_to_vec(), label);
-                }
-                Action::SendBlock { block, .. } => {
-                    let data = content.block_bytes(block.piece, block.block_index());
-                    let msg = Message::Piece {
-                        block,
-                        data: data.into(),
-                    };
-                    stream_write(&mut stream, &msg.encode_to_vec(), label);
-                    engine.on_block_sent(virtual_now(start), conn, block);
-                }
-                Action::CancelBlock { .. } | Action::Announce { .. } | Action::Connect { .. } => {}
-                Action::Disconnect { .. } => closed = true,
-            }
-        }
-        if engine.is_seed() && label == "leecher" {
-            println!("leecher: download complete, every piece SHA-1 verified");
-            break;
-        }
-        if closed {
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_micros(200));
-        if start.elapsed() > std::time::Duration::from_secs(60) {
-            panic!("{label}: timed out");
-        }
-    }
-    engine
-}
-
-fn stream_write(stream: &mut TcpStream, bytes: &[u8], label: &str) {
-    let mut off = 0;
-    while off < bytes.len() {
-        match stream.write(&bytes[off..]) {
-            Ok(n) => off += n,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_micros(100));
-            }
-            Err(e) => panic!("{label}: write error: {e}"),
-        }
-    }
-}
+use bt_repro::net::{run_loopback_swarm, LoopbackSpec};
 
 fn main() {
-    let content = Arc::new(SyntheticContent::generate(
-        "tcp-demo",
-        77,
-        8 * 256 * 1024, // 2 MB in eight 256 kB pieces
-        256 * 1024,
-    ));
-    let geometry = Geometry::from(&content.metainfo);
-    let num_pieces = geometry.num_pieces();
+    let spec = LoopbackSpec {
+        seeds: 1,
+        leechers: 2,
+        total_len: 8 * 256 * 1024, // 2 MB in eight 256 kB pieces
+        piece_len: 256 * 1024,
+        seed: 77,
+        ..LoopbackSpec::default()
+    };
+    let pieces = spec.total_len / u64::from(spec.piece_len);
     println!(
-        "transferring {} pieces ({} kB) over a real TCP socket ...",
-        num_pieces,
-        content.metainfo.total_len / 1024
+        "transferring {pieces} pieces ({} kB) between {} peers over real TCP sockets ...",
+        spec.total_len / 1024,
+        spec.seeds + spec.leechers
     );
 
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-    let addr = listener.local_addr().expect("addr");
-    let info_hash = content.metainfo.info_hash;
+    let result = run_loopback_swarm(spec).expect("loopback swarm runs");
 
-    let seed_content = content.clone();
-    let seeder = std::thread::spawn(move || {
-        let (stream, _) = listener.accept().expect("accept");
-        let engine = Engine::new(
-            Config::default(),
-            geometry,
-            DataMode::Real(seed_content.clone()),
-            info_hash,
-            PeerId::new(ClientKind::Mainline402, 1),
-            IpAddr(1),
-            Bitfield::full(num_pieces),
-            1,
+    for (i, outcome) in result.outcomes.iter().enumerate() {
+        println!(
+            "peer {i}: {:2} pieces, {:3} messages in, {:3} blocks uploaded, {} choke ticks",
+            outcome.pieces,
+            outcome.stats.messages_in,
+            outcome.stats.blocks_sent,
+            outcome.stats.ticks,
         );
-        drive(engine, stream, seed_content, IpAddr(2), false, "seeder")
-    });
-
-    let stream = TcpStream::connect(addr).expect("connect");
-    let engine = Engine::new(
-        Config::default(),
-        geometry,
-        DataMode::Real(content.clone()),
-        info_hash,
-        PeerId::new(ClientKind::Mainline402, 2),
-        IpAddr(2),
-        Bitfield::new(num_pieces),
-        2,
-    );
-    let leecher = drive(engine, stream, content, IpAddr(1), true, "leecher");
-
-    assert!(leecher.is_seed(), "leecher must finish");
-    assert_eq!(leecher.num_pieces_have(), num_pieces);
-    drop(seeder); // the seeder thread exits when the socket closes
+    }
+    assert_eq!(result.completed_leechers, 2, "every leecher must finish");
     println!(
-        "ok: {} pieces transferred and verified over TCP — the same engine the simulator drives",
-        num_pieces
+        "ok: {pieces} pieces transferred and verified over TCP in {:.2?} — the same engine the simulator drives",
+        result.wall_elapsed
     );
-    std::process::exit(0); // don't wait for the seeder's 60 s timeout
 }

@@ -12,8 +12,11 @@
 //! * [`piece`] — bitfields, availability, rarest first + baselines,
 //!   block scheduling (strict priority, end game);
 //! * [`choke`] — rate estimation, leecher/seed chokers, tit-for-tat;
-//! * [`core`] — the client engine;
-//! * [`sim`] — the discrete-event swarm simulator;
+//! * [`core`] — the client engine, a sans-io state machine
+//!   ([`core::Input`]s in, [`core::Action`]s out);
+//! * [`sim`] — the discrete-event swarm simulator driving the engine;
+//! * [`net`] — the real-socket runtime driving the *same* engine over
+//!   non-blocking TCP, with an accelerated virtual clock;
 //! * [`instrument`] — trace records and peer identification;
 //! * [`analysis`] — entropy, replication, interarrival, fairness and
 //!   unchoke-correlation metrics;
@@ -48,6 +51,7 @@ pub use bt_analysis as analysis;
 pub use bt_choke as choke;
 pub use bt_core as core;
 pub use bt_instrument as instrument;
+pub use bt_net as net;
 pub use bt_piece as piece;
 pub use bt_sim as sim;
 pub use bt_torrents as torrents;
