@@ -1,13 +1,21 @@
 //! `swarmrun` — run a swarm scenario from a JSON spec file.
 //!
 //! ```text
-//! swarmrun <spec.json> [--trace out.jsonl] [--example]
+//! swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--status] [--example]
 //! swarmrun --table1 [--quick] [--seed N] [--jobs N]
-//! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl]
+//! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N]
+//!          [--trace out.jsonl] [--metrics out.jsonl] [--status]
 //! ```
 //!
 //! * `--example` prints a complete, runnable spec to stdout and exits;
 //! * `--trace FILE` writes the instrumented peer's trace as JSON lines;
+//! * `--metrics FILE` writes `bt-obs` registry snapshots as JSON lines
+//!   (one per sampling period plus a final one) and prints a summary.
+//!   Simulator runs use a virtual-clock registry, so the file is
+//!   byte-identical for a given spec and seed; `--net` runs sample a
+//!   shared wall-clock registry periodically;
+//! * `--status` shows live one-line progress on stderr (net mode; the
+//!   simulator replays its sampled status lines after the run);
 //! * `--table1` runs the whole 26-torrent Table I sweep on a worker
 //!   pool (`--jobs N`, default: all cores) and prints one summary line
 //!   per torrent — traces are identical for any job count;
@@ -24,9 +32,11 @@
 
 use bt_analysis::SessionSummary;
 use bt_net::LoopbackSpec;
+use bt_obs::{summary_text, Registry, Snapshot};
 use bt_sim::{BehaviorProfile, Swarm, SwarmSpec};
 use bt_torrents::RunConfig;
 use bt_wire::time::Duration;
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,9 +52,20 @@ fn main() {
         run_net_swarm(&args);
         return;
     }
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+    // Flag values double as positional-arg lookalikes; skip them when
+    // searching for the spec path.
+    let flag_values: Vec<usize> = ["--trace", "--metrics"]
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
+    let Some(path) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && !flag_values.contains(i))
+        .map(|(_, a)| a)
+    else {
         eprintln!(
-            "usage: swarmrun <spec.json> [--trace out.jsonl] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl]"
+            "usage: swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--status] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--status]"
         );
         std::process::exit(2);
     };
@@ -53,6 +74,12 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let status = args.iter().any(|a| a == "--status");
 
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("swarmrun: cannot read {path}: {e}");
@@ -71,8 +98,32 @@ fn main() {
         spec.seed
     );
     let local = spec.local;
-    let result = Swarm::new(spec).run();
+    let mut swarm = Swarm::new(spec);
+    if metrics_out.is_some() || status {
+        // Virtual-clock registry: the snapshot file is a deterministic
+        // function of the spec and seed.
+        swarm = swarm.with_metrics(Registry::new_manual());
+    }
+    let result = swarm.run();
 
+    if status {
+        // The simulator runs synchronously in virtual time; replay the
+        // sampled status line per snapshot instead of live updates.
+        for snap in &result.metrics {
+            eprint!("\r{}", sim_status_line(snap));
+        }
+        eprintln!();
+    }
+    if let Some(path) = &metrics_out {
+        write_snapshots(path, &result.metrics);
+        println!(
+            "metrics written  : {path} ({} snapshots)",
+            result.metrics.len()
+        );
+        if let Some(last) = result.metrics.last() {
+            print!("{}", summary_text(last));
+        }
+    }
     println!("events processed : {}", result.events_processed);
     println!("peers completed  : {} / {peers}", result.completed_peers);
     println!(
@@ -155,6 +206,12 @@ fn run_net_swarm(args: &[String]) {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let status = args.iter().any(|a| a == "--status");
     let mut spec = LoopbackSpec::default();
     if let Some(n) = flag_value("--seeds") {
         spec.seeds = n.max(1) as usize;
@@ -168,16 +225,67 @@ fn run_net_swarm(args: &[String]) {
     if let Some(n) = flag_value("--seed") {
         spec.seed = n;
     }
+    let registry = (metrics_out.is_some() || status).then(Registry::new_wall);
+    spec.metrics = registry.clone();
     let piece_len = spec.piece_len;
     let (seeds, leechers) = (spec.seeds, spec.leechers);
     eprintln!(
         "running {seeds} seed(s) + {leechers} leecher(s), {} pieces over loopback TCP ...",
         spec.total_len / u64::from(piece_len)
     );
+
+    // Sampler thread: every 250 ms wall, snapshot the shared registry —
+    // append a JSONL line, update the one-line status display.
+    let sampler_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = registry.clone().map(|reg| {
+        let stop = std::sync::Arc::clone(&sampler_stop);
+        let out_path = metrics_out.clone();
+        std::thread::spawn(move || {
+            let mut out = out_path.map(|p| {
+                std::fs::File::create(&p).unwrap_or_else(|e| {
+                    eprintln!("swarmrun: cannot create {p}: {e}");
+                    std::process::exit(2);
+                })
+            });
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                let snap = reg.snapshot();
+                if let Some(f) = out.as_mut() {
+                    let _ = writeln!(f, "{}", snap.to_jsonl_line());
+                }
+                if status {
+                    eprint!("\r{}", net_status_line(&snap));
+                }
+            }
+            if status {
+                eprintln!();
+            }
+        })
+    });
+
     let result = bt_net::run_loopback_swarm(spec).unwrap_or_else(|e| {
         eprintln!("swarmrun: net swarm failed: {e}");
         std::process::exit(1);
     });
+    sampler_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = sampler {
+        let _ = handle.join();
+    }
+    if let Some(reg) = &registry {
+        let last = reg.snapshot();
+        if let Some(path) = &metrics_out {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("swarmrun: cannot append to {path}: {e}");
+                    std::process::exit(2);
+                });
+            let _ = writeln!(f, "{}", last.to_jsonl_line());
+            println!("metrics written  : {path}");
+        }
+        print!("{}", summary_text(&last));
+    }
     println!(
         "peers completed  : {} / {leechers} leechers in {:.2?} wall",
         result.completed_leechers, result.wall_elapsed
@@ -288,6 +396,52 @@ fn run_table1_sweep(args: &[String]) {
         outcomes.len(),
         t0.elapsed()
     );
+}
+
+/// Write one JSONL line per snapshot.
+fn write_snapshots(path: &str, snapshots: &[Snapshot]) {
+    let mut text = String::new();
+    for snap in snapshots {
+        text.push_str(&snap.to_jsonl_line());
+        text.push('\n');
+    }
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("swarmrun: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+}
+
+/// One-line progress for a simulator snapshot (virtual-time registry).
+fn sim_status_line(snap: &Snapshot) -> String {
+    format!(
+        "[t={:>6}s] peers={} done={} interested={} unchoked={} blocks={} events={}",
+        snap.at_micros / 1_000_000,
+        snap.gauge("sim.live_peers", "").unwrap_or(0),
+        snap.gauge("sim.completed_peers", "").unwrap_or(0),
+        snap.gauge("sim.interested_pairs", "").unwrap_or(0),
+        snap.gauge("sim.unchoked_pairs", "").unwrap_or(0),
+        snap.counter_sum("sim.blocks_delivered"),
+        snap.counter_sum("sim.events"),
+    )
+}
+
+/// One-line progress for a net-swarm snapshot (wall-clock registry
+/// shared by every runtime; gauges sum over the per-peer labels).
+fn net_status_line(snap: &Snapshot) -> String {
+    let conns: i64 = snap
+        .gauges
+        .iter()
+        .filter(|(name, _, _)| *name == "net.conns")
+        .map(|(_, _, v)| *v)
+        .sum();
+    format!(
+        "[net] conns={conns} handshakes={} in={}B out={}B blocks={} pieces={}",
+        snap.counter_sum("net.handshakes_ok"),
+        snap.counter_sum("net.bytes_in"),
+        snap.counter_sum("net.bytes_out"),
+        snap.counter_sum("net.blocks_sent"),
+        snap.counter_sum("core.pieces_completed"),
+    )
 }
 
 fn print_example() {

@@ -22,6 +22,7 @@
 use crate::config::Config;
 use crate::content::DataMode;
 use crate::engine::Engine;
+use crate::metrics::EngineMetrics;
 use bt_instrument::trace::TraceMeta;
 use bt_piece::{Bitfield, Geometry};
 use bt_wire::peer_id::{IpAddr, PeerId};
@@ -39,6 +40,7 @@ pub struct EngineBuilder {
     pub(crate) initial_pieces: Option<Bitfield>,
     pub(crate) seed: u64,
     pub(crate) recorder: Option<TraceMeta>,
+    pub(crate) metrics: Option<EngineMetrics>,
 }
 
 impl EngineBuilder {
@@ -59,6 +61,7 @@ impl EngineBuilder {
             initial_pieces: None,
             seed: 0,
             recorder: None,
+            metrics: None,
         }
     }
 
@@ -104,6 +107,14 @@ impl EngineBuilder {
     /// *local* (instrumented) peer.
     pub fn recorder(mut self, meta: TraceMeta) -> EngineBuilder {
         self.recorder = Some(meta);
+        self
+    }
+
+    /// Attach runtime telemetry handles (see [`EngineMetrics`]): input,
+    /// action and protocol-error counters plus choke-round and
+    /// piece-pick latency histograms on the handles' registry.
+    pub fn metrics(mut self, metrics: EngineMetrics) -> EngineBuilder {
+        self.metrics = Some(metrics);
         self
     }
 

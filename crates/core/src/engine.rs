@@ -18,8 +18,10 @@ use crate::connection::{ConnId, Connection};
 use crate::content::{DataMode, PieceBuffer};
 use crate::driver::{Actions, Input};
 use crate::error::EngineError;
+use crate::metrics::EngineMetrics;
 use bt_choke::{Choker, PeerSnapshot};
-use bt_instrument::trace::{Trace, TraceEvent, TraceMeta, UnchokeRole};
+use bt_instrument::trace::{Trace, TraceEvent, UnchokeRole};
+use bt_obs::{obs_info, obs_warn};
 use bt_piece::{Availability, Bitfield, Geometry, PickContext, PiecePicker, RequestScheduler};
 use bt_wire::fast;
 use bt_wire::message::{BlockRef, Message};
@@ -146,6 +148,7 @@ pub struct Engine {
     rng: SmallRng,
     actions: Actions,
     trace: Option<Trace>,
+    metrics: Option<EngineMetrics>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -164,32 +167,9 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Create an engine.
-    ///
-    /// `initial_pieces` is the starting bitfield (full for a seed, empty
-    /// for a fresh leecher, nearly full for an "almost done" joiner).
-    #[allow(clippy::too_many_arguments)] // the shim mirrors the legacy signature
-    #[deprecated(note = "use `EngineBuilder` — it names every argument and folds the recorder in")]
-    pub fn new(
-        config: Config,
-        geometry: Geometry,
-        data: DataMode,
-        info_hash: Digest,
-        peer_id: PeerId,
-        ip: IpAddr,
-        initial_pieces: Bitfield,
-        seed: u64,
-    ) -> Engine {
-        EngineBuilder::new(geometry, info_hash, peer_id)
-            .config(config)
-            .data(data)
-            .ip(ip)
-            .initial_pieces(initial_pieces)
-            .rng_seed(seed)
-            .build()
-    }
-
-    /// Construct from an [`EngineBuilder`] (the only real constructor).
+    /// Construct from an [`EngineBuilder`] (the only constructor; the
+    /// legacy 8-argument `Engine::new` and the callback shims were
+    /// removed after their one-release grace period).
     pub(crate) fn from_builder(b: EngineBuilder) -> Engine {
         let EngineBuilder {
             config,
@@ -201,6 +181,7 @@ impl Engine {
             initial_pieces,
             seed,
             recorder,
+            metrics,
         } = b;
         let num_pieces = geometry.num_pieces();
         let initial_pieces = initial_pieces.unwrap_or_else(|| Bitfield::new(num_pieces));
@@ -245,14 +226,21 @@ impl Engine {
             rng: SmallRng::seed_from_u64(seed),
             actions: Actions::default(),
             trace: recorder.map(Trace::new),
+            metrics,
         }
     }
 
-    /// Attach a §III-C recorder; this engine becomes the *local peer*.
-    #[deprecated(note = "use `EngineBuilder::recorder` instead")]
-    pub fn with_recorder(mut self, meta: TraceMeta) -> Engine {
-        self.trace = Some(Trace::new(meta));
-        self
+    /// Attach (or replace) runtime telemetry handles after
+    /// construction — drivers that build engines before the registry
+    /// exists (e.g. a swarm retrofitting a shared registry) use this;
+    /// prefer [`EngineBuilder::metrics`] otherwise.
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// True when runtime telemetry handles are attached.
+    pub fn has_metrics(&self) -> bool {
+        self.metrics.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -373,6 +361,10 @@ impl Engine {
     pub fn handle(&mut self, now: Instant, input: Input) -> &mut Actions {
         self.actions.accepted = None;
         self.actions.error = None;
+        let emitted_before = self.actions.items.len();
+        if let Some(m) = &self.metrics {
+            m.count_input(&input);
+        }
         match input {
             Input::Start => self.do_start(now),
             Input::Tick => self.do_tick(now),
@@ -393,10 +385,25 @@ impl Engine {
                     let conn = err.conn();
                     self.cleanup_conn(now, conn);
                     self.actions.push(Action::Disconnect { conn });
+                    if let Some(m) = &self.metrics {
+                        m.count_error(&err);
+                        obs_warn!(
+                            m.registry,
+                            "core",
+                            "protocol_violation",
+                            "conn" = u64::from(conn),
+                            "error" = format!("{err:?}").as_str(),
+                        );
+                    }
                     self.actions.error = Some(err);
                 }
             }
             Input::BlockSent { conn, block } => self.do_block_sent(now, conn, block),
+        }
+        if let Some(m) = &self.metrics {
+            for action in &self.actions.items[emitted_before..] {
+                m.count_action(action);
+            }
         }
         &mut self.actions
     }
@@ -436,24 +443,12 @@ impl Engine {
     // Session lifecycle
     // ------------------------------------------------------------------
 
-    /// Join the torrent: announce `started` to the tracker.
-    #[deprecated(note = "feed `Input::Start` through `Engine::handle`")]
-    pub fn start(&mut self, now: Instant) {
-        self.handle(now, Input::Start);
-    }
-
     fn do_start(&mut self, now: Instant) {
         self.last_announce = now;
         self.actions.push(Action::Announce {
             event: AnnounceEvent::Started,
         });
         self.arm_rechoke(now + self.config.rechoke_period);
-    }
-
-    /// Tracker returned a peer list; dial as many as policy allows.
-    #[deprecated(note = "feed `Input::TrackerResponse` through `Engine::handle`")]
-    pub fn on_tracker_response(&mut self, now: Instant, peers: Vec<PeerEntry>) {
-        self.handle(now, Input::TrackerResponse { peers });
     }
 
     fn do_tracker_response(&mut self, _now: Instant, peers: Vec<PeerEntry>) {
@@ -486,31 +481,6 @@ impl Engine {
             return false;
         }
         !(self.config.one_connection_per_ip && self.connected_ips.contains(&ip))
-    }
-
-    /// A connection (either direction) completed its handshake.
-    /// Returns the new connection handle, or `None` if refused.
-    #[deprecated(
-        note = "feed `Input::PeerConnected` through `Engine::handle`, then `Actions::take_accepted`"
-    )]
-    pub fn on_peer_connected(
-        &mut self,
-        now: Instant,
-        ip: IpAddr,
-        peer_id: PeerId,
-        initiated_by_us: bool,
-        caps: PeerCaps,
-    ) -> Option<ConnId> {
-        self.handle(
-            now,
-            Input::PeerConnected {
-                ip,
-                peer_id,
-                initiated_by_us,
-                caps,
-            },
-        )
-        .take_accepted()
     }
 
     fn do_peer_connected(
@@ -674,21 +644,9 @@ impl Engine {
         }
     }
 
-    /// A dial failed before the handshake completed.
-    #[deprecated(note = "feed `Input::ConnectFailed` through `Engine::handle`")]
-    pub fn on_connect_failed(&mut self, now: Instant) {
-        self.handle(now, Input::ConnectFailed);
-    }
-
     fn do_connect_failed(&mut self, _now: Instant) {
         self.pending_dials = self.pending_dials.saturating_sub(1);
         self.dial_candidates();
-    }
-
-    /// A connection closed (remote left or transport error).
-    #[deprecated(note = "feed `Input::PeerDisconnected` through `Engine::handle`")]
-    pub fn on_peer_disconnected(&mut self, now: Instant, conn: ConnId) {
-        self.handle(now, Input::PeerDisconnected { conn });
     }
 
     fn do_peer_disconnected(&mut self, now: Instant, conn: ConnId) {
@@ -715,12 +673,6 @@ impl Engine {
     // ------------------------------------------------------------------
     // Message handling
     // ------------------------------------------------------------------
-
-    /// Process one decoded message from a connection.
-    #[deprecated(note = "feed `Input::Message` through `Engine::handle`")]
-    pub fn on_message(&mut self, now: Instant, conn: ConnId, msg: Message) {
-        self.handle(now, Input::Message { conn, msg });
-    }
 
     fn do_message(&mut self, now: Instant, conn: ConnId, msg: Message) -> Result<(), EngineError> {
         if !self.conns.contains_key(&conn) {
@@ -999,12 +951,6 @@ impl Engine {
         Ok(())
     }
 
-    /// The transport finished sending a block (for rate accounting).
-    #[deprecated(note = "feed `Input::BlockSent` through `Engine::handle`")]
-    pub fn on_block_sent(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
-        self.handle(now, Input::BlockSent { conn, block });
-    }
-
     fn do_block_sent(&mut self, now: Instant, conn: ConnId, block: BlockRef) {
         if let Some(c) = self.conns.get_mut(&conn) {
             c.upload.record(now, u64::from(block.length));
@@ -1074,11 +1020,17 @@ impl Engine {
         if !ok {
             self.scheduler.on_piece_failed(piece);
             self.record(now, TraceEvent::PieceFailed { piece });
+            if let Some(m) = &self.metrics {
+                m.pieces_failed.inc();
+            }
             return;
         }
         self.scheduler.on_piece_verified(piece);
         self.own.set(piece);
         self.record(now, TraceEvent::PieceCompleted { piece });
+        if let Some(m) = &self.metrics {
+            m.pieces_completed.inc();
+        }
         let mut conn_ids: Vec<ConnId> = self.conns.keys().copied().collect();
         conn_ids.sort_unstable();
         for id in &conn_ids {
@@ -1097,6 +1049,14 @@ impl Engine {
         self.is_seed = true;
         self.seed_at = Some(now);
         self.record(now, TraceEvent::BecameSeed);
+        if let Some(m) = &self.metrics {
+            obs_info!(
+                m.registry,
+                "core",
+                "became_seed",
+                "at_secs" = now.as_secs_f64(),
+            );
+        }
         self.actions.push(Action::Announce {
             event: AnnounceEvent::Completed,
         });
@@ -1185,9 +1145,14 @@ impl Engine {
             in_progress: &never,
             downloaded_pieces: downloaded,
         };
+        let pick_started = self.metrics.as_ref().map(|m| m.registry.now_micros());
         let reqs =
             self.scheduler
                 .next_requests(conn, &ctx, self.picker.as_mut(), &mut self.rng, room);
+        if let (Some(m), Some(t0)) = (&self.metrics, pick_started) {
+            m.piece_pick_us
+                .observe(m.registry.now_micros().saturating_sub(t0));
+        }
         if self.scheduler.in_endgame() && !self.endgame_recorded {
             self.endgame_recorded = true;
             self.record(now, TraceEvent::EndGameEntered);
@@ -1209,6 +1174,7 @@ impl Engine {
     /// harnesses that want an out-of-band round. It does **not** move
     /// the armed deadline.
     pub fn rechoke(&mut self, now: Instant) {
+        let round_started = self.metrics.as_ref().map(|m| m.registry.now_micros());
         let snapshots: Vec<PeerSnapshot> = {
             let mut v: Vec<PeerSnapshot> =
                 self.conns.values_mut().map(|c| c.snapshot(now)).collect();
@@ -1267,6 +1233,10 @@ impl Engine {
             // new seed-state algorithm orders by the time a peer was last
             // *granted* an unchoke, so kept peers age and each new SRU
             // "tak[es] an unchoke slot off the oldest SKU peer" (§II-C.2).
+        }
+        if let (Some(m), Some(t0)) = (&self.metrics, round_started) {
+            m.choke_round_us
+                .observe(m.registry.now_micros().saturating_sub(t0));
         }
         self.periodic_duties(now);
     }
@@ -2283,6 +2253,7 @@ mod tests {
 
     #[test]
     fn recorder_captures_session() {
+        use bt_instrument::trace::TraceMeta;
         let meta = TraceMeta {
             torrent: "unit".into(),
             torrent_id: 0,
@@ -2318,61 +2289,83 @@ mod tests {
         )));
     }
 
-    /// The deprecated callback shims must stay byte-for-byte equivalent
-    /// to feeding the same events through `handle` — they are kept for
-    /// one PR precisely because downstream code may still rely on them.
+    /// Metrics attachment must observe inputs, actions and protocol
+    /// errors without changing engine behaviour: an instrumented engine
+    /// and a bare one fed identical inputs emit identical actions.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_handle() {
-        let mut old = Engine::new(
-            Config::default(),
-            geometry(),
-            DataMode::Virtual,
-            [9u8; 20],
-            PeerId::new(ClientKind::Mainline402, 7),
-            IpAddr(107),
-            Bitfield::new(4),
-            7,
-        );
-        let mut new = EngineBuilder::new(
-            geometry(),
-            [9u8; 20],
-            PeerId::new(ClientKind::Mainline402, 7),
-        )
-        .ip(IpAddr(107))
-        .rng_seed(7)
-        .build();
-        let t = Instant::ZERO;
-        old.start(t);
-        new.handle(t, Input::Start);
-        assert_eq!(old.drain_actions(), new.drain_actions());
+    fn metrics_count_without_perturbing() {
+        let registry = bt_obs::Registry::new_manual();
+        let metrics = crate::metrics::EngineMetrics::register(&registry);
+        let build = || {
+            EngineBuilder::new(
+                geometry(),
+                [9u8; 20],
+                PeerId::new(ClientKind::Mainline402, 7),
+            )
+            .ip(IpAddr(107))
+            .rng_seed(7)
+            .build()
+        };
+        let mut bare = build();
+        let mut instrumented = build();
+        instrumented.set_metrics(metrics);
+
+        let t0 = Instant::ZERO;
         let peer_id = PeerId::new(ClientKind::Azureus, 9);
-        let a = old.on_peer_connected(t, IpAddr(9), peer_id, false, PeerCaps::default());
-        let b = new
-            .handle(
-                t,
+        let inputs = vec![
+            (t0, Input::Start),
+            (
+                t0,
                 Input::PeerConnected {
                     ip: IpAddr(9),
                     peer_id,
                     initiated_by_us: false,
                     caps: PeerCaps::default(),
                 },
-            )
-            .take_accepted();
-        assert_eq!(a, b);
-        assert_eq!(old.drain_actions(), new.drain_actions());
-        let id = a.unwrap();
-        for msg in [
-            Message::Bitfield(Bitfield::full(4).to_wire()),
-            Message::Unchoke,
-        ] {
-            old.on_message(t, id, msg.clone());
-            new.handle(t, Input::Message { conn: id, msg });
-            assert_eq!(old.drain_actions(), new.drain_actions());
+            ),
+            (
+                t0,
+                Input::Message {
+                    conn: 0,
+                    msg: Message::Bitfield(Bitfield::full(4).to_wire()),
+                },
+            ),
+            (
+                t0,
+                Input::Message {
+                    conn: 0,
+                    msg: Message::Unchoke,
+                },
+            ),
+            // Late enough to fire the armed rechoke round.
+            (Instant::from_secs(11), Input::Tick),
+            // Protocol violation: off-range `have`.
+            (
+                Instant::from_secs(11),
+                Input::Message {
+                    conn: 0,
+                    msg: Message::Have(999),
+                },
+            ),
+        ];
+        for (t, input) in inputs {
+            let a = bare.handle(t, input.clone()).take();
+            let b = instrumented.handle(t, input).take();
+            assert_eq!(a, b, "metrics changed engine behaviour");
         }
-        let block = geometry().block_ref(0, 0);
-        old.on_block_sent(t, id, block);
-        new.handle(t, Input::BlockSent { conn: id, block });
-        assert_eq!(old.drain_actions(), new.drain_actions());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.inputs.start", ""), Some(1));
+        assert_eq!(snap.counter("core.inputs.message", ""), Some(3));
+        assert_eq!(snap.counter("core.inputs.peer_connected", ""), Some(1));
+        assert_eq!(snap.counter("core.errors.piece_out_of_range", ""), Some(1));
+        // The violation forced a disconnect action.
+        assert_eq!(snap.counter("core.actions.disconnect", ""), Some(1));
+        // Start armed the rechoke timer; actions were counted by variant.
+        assert!(snap.counter("core.actions.set_timer", "").unwrap() >= 1);
+        assert!(snap.counter("core.actions.send", "").unwrap() >= 1);
+        // The choke round on Tick observed a (zero-width, virtual-clock)
+        // latency sample.
+        assert!(snap.histogram("core.choke_round_us", "").unwrap().count >= 1);
     }
 }

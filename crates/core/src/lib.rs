@@ -13,7 +13,9 @@
 //!   contract every driver follows;
 //! * [`engine`] — the [`engine::Engine`] state machine and its
 //!   [`engine::Action`] effect type;
-//! * [`error`] — typed [`error::EngineError`] protocol violations.
+//! * [`error`] — typed [`error::EngineError`] protocol violations;
+//! * [`metrics`] — optional `bt-obs` runtime telemetry
+//!   ([`metrics::EngineMetrics`]).
 //!
 //! The engine is sans-io: it contains no clock, no sockets and no
 //! randomness source of its own beyond a seeded PRNG. A driver (the
@@ -32,6 +34,7 @@ pub mod content;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 
 pub use builder::EngineBuilder;
 pub use config::Config;
@@ -40,3 +43,4 @@ pub use content::{DataMode, PieceBuffer};
 pub use driver::{Actions, Input};
 pub use engine::{Action, Engine, PeerCaps};
 pub use error::EngineError;
+pub use metrics::EngineMetrics;

@@ -18,15 +18,20 @@
 //! - [`loopback::run_loopback_swarm`] — an end-to-end harness: one
 //!   runtime thread per peer on loopback, completing a real torrent and
 //!   emitting the same `bt-instrument` traces as the simulator.
+//! - [`metrics::NetMetrics`] — `bt-obs` telemetry handles: every
+//!   runtime reports `net.*` counters, gauges and a handshake-latency
+//!   histogram, per-peer labeled when a swarm shares one registry.
 
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod loopback;
+pub mod metrics;
 pub mod runtime;
 pub mod tracker;
 
 pub use clock::{AccelClock, DEFAULT_ACCEL};
 pub use loopback::{run_loopback_swarm, LoopbackResult, LoopbackSpec, PeerOutcome};
+pub use metrics::NetMetrics;
 pub use runtime::{peer_ip, NetConfig, NetRuntime, NetStats};
 pub use tracker::LoopbackTracker;

@@ -42,6 +42,10 @@ pub struct LoopbackSpec {
     pub max_wall: std::time::Duration,
     /// Attach a trace recorder to every peer.
     pub record: bool,
+    /// Shared telemetry registry; every peer registers its instruments
+    /// here under the label `peer<i>`. `None` leaves each runtime on a
+    /// private wall-clock registry.
+    pub metrics: Option<bt_obs::Registry>,
 }
 
 impl Default for LoopbackSpec {
@@ -58,6 +62,7 @@ impl Default for LoopbackSpec {
             accel: 1000,
             max_wall: std::time::Duration::from_secs(60),
             record: true,
+            metrics: None,
         }
     }
 }
@@ -112,8 +117,10 @@ pub fn run_loopback_swarm(spec: LoopbackSpec) -> std::io::Result<LoopbackResult>
     // tracker can resolve every peer no matter the scheduling order.
     let mut runtimes = Vec::with_capacity(n);
     for i in 0..n {
-        // Step by two: `PeerId::new` ors the suffix with 1, so adjacent
-        // even/odd suffixes would yield identical IDs.
+        // Step by two: a historical workaround for `PeerId::new` or-ing
+        // its suffix with 1 (adjacent even/odd suffixes collided). The
+        // mixer no longer collides, but the stride is kept so existing
+        // golden fingerprints stay put.
         let peer_id = PeerId::new(
             ClientKind::Mainline402,
             spec.seed.wrapping_mul(2).wrapping_add(2 * i as u64),
@@ -143,13 +150,18 @@ pub fn run_loopback_swarm(spec: LoopbackSpec) -> std::io::Result<LoopbackResult>
             });
         }
         let engine = builder.build();
+        let mut net_cfg = spec.net.clone();
+        if let Some(registry) = &spec.metrics {
+            net_cfg.metrics = Some(registry.clone());
+        }
+        net_cfg.metrics_label = format!("peer{i}");
         runtimes.push(NetRuntime::new(
             engine,
             DataMode::Real(content.clone()),
             listener,
             tracker.clone(),
             clock,
-            spec.net.clone(),
+            net_cfg,
         )?);
     }
 

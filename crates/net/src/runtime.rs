@@ -17,9 +17,11 @@
 //! engine never sees a byte of transport.
 
 use crate::clock::AccelClock;
+use crate::metrics::NetMetrics;
 use crate::tracker::LoopbackTracker;
 use bt_core::engine::PeerCaps;
-use bt_core::{Action, ConnId, DataMode, Engine, Input};
+use bt_core::{Action, ConnId, DataMode, Engine, EngineMetrics, Input};
+use bt_obs::{obs_debug, obs_warn, Registry};
 use bt_wire::handshake::{Handshake, HANDSHAKE_LEN};
 use bt_wire::message::{BlockRef, Decoder, Message, DEFAULT_MAX_FRAME};
 use bt_wire::peer_id::{IpAddr, PeerId};
@@ -62,6 +64,14 @@ pub struct NetConfig {
     pub idle_timeout: Duration,
     /// Maximum accepted frame size (codec guard).
     pub max_frame: usize,
+    /// Shared telemetry registry. `None` (the default) gives the
+    /// runtime a private wall-clock registry; a loopback swarm passes
+    /// one registry to every runtime for a swarm-wide view.
+    pub metrics: Option<Registry>,
+    /// Label under which this runtime registers its instruments
+    /// (e.g. `"peer3"`), keeping per-peer series apart on a shared
+    /// registry.
+    pub metrics_label: String,
 }
 
 impl Default for NetConfig {
@@ -73,11 +83,17 @@ impl Default for NetConfig {
             handshake_timeout: std::time::Duration::from_secs(5),
             idle_timeout: Duration::from_secs(1800),
             max_frame: DEFAULT_MAX_FRAME,
+            metrics: None,
+            metrics_label: String::new(),
         }
     }
 }
 
 /// Counters a runtime accumulates while driving its engine.
+///
+/// Since the `bt-obs` integration this is a *snapshot view*: the live
+/// values are `net.*` counters in the runtime's [`Registry`], and
+/// [`NetRuntime::stats`] (or [`NetMetrics::stats`]) reads them out.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NetStats {
     /// `Input::Tick`s fed (choke rounds and other timer work).
@@ -92,6 +108,14 @@ pub struct NetStats {
     pub protocol_errors: u64,
     /// Connections closed for any reason.
     pub disconnects: u64,
+    /// Framed bytes read off sockets.
+    pub bytes_in: u64,
+    /// Framed bytes written to sockets.
+    pub bytes_out: u64,
+    /// Individual dial attempts that failed and were re-queued.
+    pub dial_retries: u64,
+    /// Handshakes that completed and were offered to the engine.
+    pub handshakes_ok: u64,
 }
 
 /// One length-prefixed frame queued for write, with an optional block
@@ -118,6 +142,8 @@ struct Pending {
     inbuf: Vec<u8>,
     initiated: bool,
     deadline: std::time::Instant,
+    /// Virtual time the handshake began (handshake-latency histogram).
+    started: Instant,
 }
 
 /// An outbound dial with remaining retry budget.
@@ -139,7 +165,7 @@ pub struct NetRuntime {
     conns: HashMap<ConnId, NetConn>,
     pending: Vec<Pending>,
     dials: Vec<Dial>,
-    stats: NetStats,
+    metrics: NetMetrics,
     counted_complete: bool,
 }
 
@@ -156,6 +182,15 @@ impl NetRuntime {
         cfg: NetConfig,
     ) -> std::io::Result<NetRuntime> {
         listener.set_nonblocking(true)?;
+        let registry = cfg.metrics.clone().unwrap_or_else(Registry::new_wall);
+        let metrics = NetMetrics::register(&registry, &cfg.metrics_label);
+        let mut engine = engine;
+        if !engine.has_metrics() {
+            engine.set_metrics(EngineMetrics::register_labeled(
+                &registry,
+                &cfg.metrics_label,
+            ));
+        }
         Ok(NetRuntime {
             engine,
             data,
@@ -166,7 +201,7 @@ impl NetRuntime {
             conns: HashMap::new(),
             pending: Vec::new(),
             dials: Vec::new(),
-            stats: NetStats::default(),
+            metrics,
             counted_complete: false,
         })
     }
@@ -191,9 +226,21 @@ impl NetRuntime {
         self.clock.now()
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far (snapshot of the `net.*` registry
+    /// series this runtime owns).
     pub fn stats(&self) -> NetStats {
-        self.stats
+        self.metrics.stats()
+    }
+
+    /// The runtime's telemetry handles.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// The registry this runtime reports into (shared if
+    /// [`NetConfig::metrics`] was set, private otherwise).
+    pub fn registry(&self) -> &Registry {
+        self.metrics.registry()
     }
 
     /// Drive the engine until `stop` is set or `max_wall` elapses.
@@ -213,6 +260,9 @@ impl NetRuntime {
         self.feed(now, Input::Start);
         while !stop.load(Ordering::Relaxed) && started.elapsed() < max_wall {
             let now = self.clock.now();
+            // Keep a manual (virtual-time) registry in step with the
+            // accelerated clock; a no-op on wall-clock registries.
+            self.metrics.registry().time().advance_to(now.0);
             self.accept_pass(now);
             self.dial_pass(now);
             self.pending_pass(now);
@@ -232,14 +282,14 @@ impl NetRuntime {
         }
         self.tracker
             .announce(self.engine.ip(), AnnounceEvent::Stopped, 0);
-        self.stats
+        self.stats()
     }
 
     /// Feed one input and execute everything the engine asks for.
     fn feed(&mut self, now: Instant, input: Input) {
         let actions = self.engine.handle(now, input);
         if actions.take_error().is_some() {
-            self.stats.protocol_errors += 1;
+            self.metrics.protocol_errors.inc();
         }
         let batch = actions.take();
         self.execute(now, batch);
@@ -267,7 +317,8 @@ impl NetRuntime {
                 Action::Disconnect { conn } => {
                     // Engine-initiated close: its state is already gone.
                     if self.conns.remove(&conn).is_some() {
-                        self.stats.disconnects += 1;
+                        self.metrics.disconnects.inc();
+                        self.metrics.conns.set(self.conns.len() as i64);
                     }
                 }
                 Action::Announce { event } => {
@@ -284,7 +335,7 @@ impl NetRuntime {
                         next_try: std::time::Instant::now(),
                     }),
                     None => {
-                        self.stats.dial_failures += 1;
+                        self.metrics.dial_failures.inc();
                         self.feed(now, Input::ConnectFailed);
                     }
                 },
@@ -297,6 +348,9 @@ impl NetRuntime {
 
     fn queue_msg(&mut self, conn: ConnId, msg: Message, block: Option<BlockRef>) {
         if let Some(c) = self.conns.get_mut(&conn) {
+            if matches!(msg, Message::KeepAlive) {
+                self.metrics.keepalives_out.inc();
+            }
             let mut buf = BytesMut::with_capacity(msg.wire_len());
             msg.encode(&mut buf);
             c.out.push_back(OutFrame {
@@ -329,14 +383,23 @@ impl NetRuntime {
             let d = self.dials.remove(i);
             match TcpStream::connect(d.addr) {
                 Ok(stream) => self.start_handshake(now, stream, true),
-                Err(_) if d.attempts_left > 1 => self.dials.push(Dial {
-                    addr: d.addr,
-                    attempts_left: d.attempts_left - 1,
-                    backoff: d.backoff * 2,
-                    next_try: wall + d.backoff,
-                }),
+                Err(_) if d.attempts_left > 1 => {
+                    self.metrics.dial_retries.inc();
+                    self.dials.push(Dial {
+                        addr: d.addr,
+                        attempts_left: d.attempts_left - 1,
+                        backoff: d.backoff * 2,
+                        next_try: wall + d.backoff,
+                    });
+                }
                 Err(_) => {
-                    self.stats.dial_failures += 1;
+                    self.metrics.dial_failures.inc();
+                    obs_warn!(
+                        self.metrics.registry(),
+                        "net",
+                        "dial_failed",
+                        "attempts" = u64::from(self.cfg.dial_attempts),
+                    );
                     self.feed(now, Input::ConnectFailed);
                 }
             }
@@ -346,7 +409,7 @@ impl NetRuntime {
     fn start_handshake(&mut self, now: Instant, stream: TcpStream, initiated: bool) {
         if stream.set_nonblocking(true).is_err() {
             if initiated {
-                self.stats.dial_failures += 1;
+                self.metrics.dial_failures.inc();
                 self.feed(now, Input::ConnectFailed);
             }
             return;
@@ -360,6 +423,7 @@ impl NetRuntime {
             inbuf: Vec::with_capacity(HANDSHAKE_LEN),
             initiated,
             deadline: std::time::Instant::now() + self.cfg.handshake_timeout,
+            started: now,
         });
     }
 
@@ -394,7 +458,7 @@ impl NetRuntime {
             }
             if failed {
                 if p.initiated {
-                    self.stats.dial_failures += 1;
+                    self.metrics.dial_failures.inc();
                     self.feed(now, Input::ConnectFailed);
                 }
                 continue;
@@ -402,13 +466,13 @@ impl NetRuntime {
             if p.out_written == HANDSHAKE_LEN && p.inbuf.len() == HANDSHAKE_LEN {
                 match Handshake::decode(&p.inbuf) {
                     Ok(hs) if hs.info_hash == self.engine.info_hash() => {
-                        self.promote(now, p.stream, hs, p.initiated);
+                        self.promote(now, p.stream, hs, p.initiated, p.started);
                     }
                     _ => {
                         // Wrong torrent or garbage: silently drop, as the
                         // reference client does.
                         if p.initiated {
-                            self.stats.dial_failures += 1;
+                            self.metrics.dial_failures.inc();
                             self.feed(now, Input::ConnectFailed);
                         }
                     }
@@ -422,7 +486,25 @@ impl NetRuntime {
 
     /// Hand a completed handshake to the engine; wire up the connection
     /// if it accepts, drop the socket if it refuses.
-    fn promote(&mut self, now: Instant, stream: TcpStream, hs: Handshake, initiated: bool) {
+    fn promote(
+        &mut self,
+        now: Instant,
+        stream: TcpStream,
+        hs: Handshake,
+        initiated: bool,
+        started: Instant,
+    ) {
+        self.metrics.handshakes_ok.inc();
+        self.metrics
+            .handshake_us
+            .observe(now.0.saturating_sub(started.0));
+        obs_debug!(
+            self.metrics.registry(),
+            "net",
+            "handshake_ok",
+            "initiated" = initiated,
+            "at_secs" = now.as_secs_f64(),
+        );
         let caps = PeerCaps::from_reserved(&hs.reserved);
         let actions = self.engine.handle(
             now,
@@ -447,6 +529,7 @@ impl NetRuntime {
                     last_recv: now,
                 },
             );
+            self.metrics.conns.set(self.conns.len() as i64);
         }
         // On refusal (duplicate address, peer-set full) the socket drops
         // here; the remote sees EOF and tells its own engine.
@@ -456,14 +539,17 @@ impl NetRuntime {
     /// Read available bytes on every connection and feed decoded frames.
     fn read_pass(&mut self, now: Instant) -> bool {
         let mut progressed = false;
+        let mut buffered: i64 = 0;
         let ids: Vec<ConnId> = self.conns.keys().copied().collect();
         for id in ids {
             let mut msgs = Vec::new();
             let mut dead = false;
+            let mut framing_error = false;
             let Some(c) = self.conns.get_mut(&id) else {
                 continue;
             };
             let mut buf = [0u8; 16 * 1024];
+            let mut read_bytes: u64 = 0;
             loop {
                 match c.stream.read(&mut buf) {
                     Ok(0) => {
@@ -473,6 +559,7 @@ impl NetRuntime {
                     Ok(n) => {
                         c.decoder.feed(&buf[..n]);
                         c.last_recv = now;
+                        read_bytes += n as u64;
                         progressed = true;
                     }
                     Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -489,17 +576,27 @@ impl NetRuntime {
                     Ok(None) => break,
                     Err(_) => {
                         // Framing violation: the stream is unrecoverable.
-                        self.stats.protocol_errors += 1;
+                        framing_error = true;
                         dead = true;
                         break;
                     }
                 }
             }
+            buffered += c.decoder.pending() as i64;
+            if read_bytes > 0 {
+                self.metrics.bytes_in.add(read_bytes);
+            }
+            if framing_error {
+                self.metrics.protocol_errors.inc();
+            }
             for msg in msgs {
                 // The engine may drop the peer mid-batch (protocol
                 // error); discard the rest of its frames if so.
                 if self.conns.contains_key(&id) {
-                    self.stats.messages_in += 1;
+                    self.metrics.messages_in.inc();
+                    if matches!(msg, Message::KeepAlive) {
+                        self.metrics.keepalives_in.inc();
+                    }
                     self.feed(now, Input::Message { conn: id, msg });
                 }
             }
@@ -507,12 +604,15 @@ impl NetRuntime {
                 self.drop_conn(now, id);
             }
         }
+        self.metrics.read_buffer_bytes.set(buffered);
         progressed
     }
 
     /// Flush write queues; report fully-sent blocks to the engine.
     fn write_pass(&mut self, now: Instant) -> bool {
         let mut progressed = false;
+        let mut queued_frames: i64 = 0;
+        let mut queued_bytes: i64 = 0;
         let ids: Vec<ConnId> = self.conns.keys().copied().collect();
         for id in ids {
             let mut sent_blocks = Vec::new();
@@ -520,6 +620,7 @@ impl NetRuntime {
             let Some(c) = self.conns.get_mut(&id) else {
                 continue;
             };
+            let mut wrote_bytes: u64 = 0;
             while let Some(front) = c.out.front_mut() {
                 match c.stream.write(&front.buf[front.written..]) {
                     Ok(0) => {
@@ -528,6 +629,7 @@ impl NetRuntime {
                     }
                     Ok(n) => {
                         front.written += n;
+                        wrote_bytes += n as u64;
                         progressed = true;
                         if front.written == front.buf.len() {
                             if let Some(block) = front.block {
@@ -544,8 +646,17 @@ impl NetRuntime {
                     }
                 }
             }
+            queued_frames += c.out.len() as i64;
+            queued_bytes += c
+                .out
+                .iter()
+                .map(|f| (f.buf.len() - f.written) as i64)
+                .sum::<i64>();
+            if wrote_bytes > 0 {
+                self.metrics.bytes_out.add(wrote_bytes);
+            }
             for block in sent_blocks {
-                self.stats.blocks_sent += 1;
+                self.metrics.blocks_sent.inc();
                 if self.conns.contains_key(&id) {
                     self.feed(now, Input::BlockSent { conn: id, block });
                 }
@@ -554,6 +665,8 @@ impl NetRuntime {
                 self.drop_conn(now, id);
             }
         }
+        self.metrics.write_queue_frames.set(queued_frames);
+        self.metrics.write_queue_bytes.set(queued_bytes);
         progressed
     }
 
@@ -567,7 +680,7 @@ impl NetRuntime {
                 break;
             }
             guard += 1;
-            self.stats.ticks += 1;
+            self.metrics.ticks.inc();
             self.feed(now, Input::Tick);
         }
     }
@@ -588,7 +701,8 @@ impl NetRuntime {
     /// Transport-initiated close: remove the socket, then tell the engine.
     fn drop_conn(&mut self, now: Instant, id: ConnId) {
         self.conns.remove(&id);
-        self.stats.disconnects += 1;
+        self.metrics.disconnects.inc();
+        self.metrics.conns.set(self.conns.len() as i64);
         self.feed(now, Input::PeerDisconnected { conn: id });
     }
 }

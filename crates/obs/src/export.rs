@@ -1,0 +1,268 @@
+//! Snapshot serializers: JSONL (one snapshot per line), Prometheus
+//! text exposition, and a human-readable summary.
+//!
+//! All three walk the snapshot's already-sorted entries, so the output
+//! is deterministic whenever the snapshot is.
+
+use crate::registry::{HistogramSnapshot, Snapshot};
+
+/// Append `s` to `out` with JSON string escaping.
+pub(crate) fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_key(out: &mut String, name: &str, label: &str) {
+    out.push('"');
+    escape_json_into(out, name);
+    if !label.is_empty() {
+        out.push('{');
+        escape_json_into(out, label);
+        out.push('}');
+    }
+    out.push_str("\":");
+}
+
+impl Snapshot {
+    /// Serialize as one JSON object (no trailing newline):
+    ///
+    /// ```json
+    /// {"t":1000,"counters":{"core.inputs.tick":5,"net.bytes_in{peer0}":88},
+    ///  "gauges":{"sim.live_peers":4},
+    ///  "histograms":{"core.choke_round_us":{"count":3,"sum":42,"p50":10,
+    ///    "p95":100,"p99":100,"buckets":[[10,2],[100,1]],"overflow":0}}}
+    /// ```
+    pub fn to_jsonl_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"t\":");
+        out.push_str(&self.at_micros.to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (name, label, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, name, label);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, label, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, name, label);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, label, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, name, label);
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                h.count, h.sum, h.p50, h.p95, h.p99
+            ));
+            for (j, (le, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{le},{c}]"));
+            }
+            out.push_str(&format!("],\"overflow\":{}}}", h.overflow));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Sanitize a metric name for Prometheus: `[a-zA-Z0-9_:]` only.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_label(label: &str) -> String {
+    if label.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "{{label=\"{}\"}}",
+            label.replace('\\', "\\\\").replace('"', "\\\"")
+        )
+    }
+}
+
+fn prom_histogram(out: &mut String, name: &str, label: &str, h: &HistogramSnapshot) {
+    let n = prom_name(name);
+    let label_prefix = if label.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "label=\"{}\",",
+            label.replace('\\', "\\\\").replace('"', "\\\"")
+        )
+    };
+    let mut cumulative = 0u64;
+    for (le, c) in &h.buckets {
+        cumulative += c;
+        out.push_str(&format!(
+            "{n}_bucket{{{label_prefix}le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{n}_bucket{{{label_prefix}le=\"+Inf\"}} {}\n",
+        h.count
+    ));
+    out.push_str(&format!("{n}_sum{} {}\n", prom_label(label), h.sum));
+    out.push_str(&format!("{n}_count{} {}\n", prom_label(label), h.count));
+}
+
+/// Render a snapshot in the Prometheus text exposition format, ready
+/// for a future `/metrics` HTTP endpoint.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(512);
+    let mut last_type: Option<(String, &str)> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+        let n = prom_name(name);
+        if last_type.as_ref().map(|(ln, lk)| (ln.as_str(), *lk)) != Some((n.as_str(), kind)) {
+            out.push_str(&format!("# TYPE {n} {kind}\n"));
+            last_type = Some((n, kind));
+        }
+    };
+    for (name, label, v) in &snap.counters {
+        type_line(&mut out, name, "counter");
+        out.push_str(&format!("{}{} {v}\n", prom_name(name), prom_label(label)));
+    }
+    for (name, label, v) in &snap.gauges {
+        type_line(&mut out, name, "gauge");
+        out.push_str(&format!("{}{} {v}\n", prom_name(name), prom_label(label)));
+    }
+    for (name, label, h) in &snap.histograms {
+        type_line(&mut out, name, "histogram");
+        prom_histogram(&mut out, name, label, h);
+    }
+    out
+}
+
+/// Multi-line human-readable summary for end-of-run printouts. Labeled
+/// counters are aggregated per name; histograms show count and
+/// quantiles.
+pub fn summary_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("metrics @ {:.3}s\n", snap.at_micros as f64 / 1e6));
+    let mut i = 0;
+    while i < snap.counters.len() {
+        let name = snap.counters[i].0;
+        let mut total = 0u64;
+        let mut labels = 0usize;
+        while i < snap.counters.len() && snap.counters[i].0 == name {
+            total += snap.counters[i].2;
+            labels += 1;
+            i += 1;
+        }
+        if labels > 1 {
+            out.push_str(&format!("  {name} = {total} (over {labels} labels)\n"));
+        } else {
+            out.push_str(&format!("  {name} = {total}\n"));
+        }
+    }
+    for (name, label, v) in &snap.gauges {
+        if label.is_empty() {
+            out.push_str(&format!("  {name} = {v}\n"));
+        } else {
+            out.push_str(&format!("  {name}{{{label}}} = {v}\n"));
+        }
+    }
+    for (name, label, h) in &snap.histograms {
+        let shown = if label.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}{{{label}}}")
+        };
+        out.push_str(&format!(
+            "  {shown}: count={} p50={} p95={} p99={}\n",
+            h.count, h.p50, h.p95, h.p99
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{buckets, Registry};
+    use crate::time::TimeSource;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new(TimeSource::manual());
+        reg.counter("core.inputs.tick").add(5);
+        reg.counter_with("net.bytes_in", "peer0").add(88);
+        reg.gauge("sim.live_peers").set(4);
+        let h = reg.histogram("core.choke_round_us", buckets::LATENCY_US);
+        h.observe(5);
+        h.observe(5);
+        h.observe(60);
+        reg.time().advance_to(1000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_wellformed() {
+        let line = sample().to_jsonl_line();
+        assert_eq!(line, sample().to_jsonl_line());
+        assert_eq!(
+            line,
+            "{\"t\":1000,\"counters\":{\"core.inputs.tick\":5,\"net.bytes_in{peer0}\":88},\
+             \"gauges\":{\"sim.live_peers\":4},\
+             \"histograms\":{\"core.choke_round_us\":{\"count\":3,\"sum\":70,\
+             \"p50\":10,\"p95\":100,\"p99\":100,\"buckets\":[[10,2],[100,1]],\"overflow\":0}}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE core_inputs_tick counter\ncore_inputs_tick 5\n"));
+        assert!(text.contains("net_bytes_in{label=\"peer0\"} 88"));
+        assert!(text.contains("# TYPE sim_live_peers gauge\nsim_live_peers 4\n"));
+        assert!(text.contains("core_choke_round_us_bucket{le=\"10\"} 2"));
+        assert!(text.contains("core_choke_round_us_bucket{le=\"100\"} 3"));
+        assert!(text.contains("core_choke_round_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("core_choke_round_us_sum 70"));
+        assert!(text.contains("core_choke_round_us_count 3"));
+    }
+
+    #[test]
+    fn summary_aggregates_labels() {
+        let reg = Registry::new(TimeSource::manual());
+        reg.counter_with("net.bytes_in", "p0").add(10);
+        reg.counter_with("net.bytes_in", "p1").add(20);
+        let text = summary_text(&reg.snapshot());
+        assert!(text.contains("net.bytes_in = 30 (over 2 labels)"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        escape_json_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,568 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Instruments are registered by a `&'static str` name plus an optional
+//! runtime label (e.g. per-peer `"peer3"`); registering the same
+//! `(name, label)` twice returns a handle to the *same* underlying
+//! instrument, so independent components (and independent engines
+//! sharing a swarm-wide registry) aggregate naturally. Handles are
+//! `Arc`-backed: clone them freely, increment them from hot paths.
+//!
+//! [`Registry::snapshot`] walks the instruments in `(name, label)`
+//! order, which makes the serialized snapshot deterministic whenever
+//! the underlying values are (same inputs + a virtual [`TimeSource`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{EventSink, Field, Level, Record};
+use crate::time::TimeSource;
+
+/// Preset histogram bucket boundaries (inclusive upper bounds).
+///
+/// Values above the last bound land in an implicit overflow bucket.
+pub mod buckets {
+    /// Latency in microseconds: 1 µs … 10 s.
+    pub const LATENCY_US: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+    /// Queue/buffer depths (items or frames).
+    pub const DEPTH: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
+
+    /// Sizes in bytes: 64 B … 16 MiB.
+    pub const BYTES: &[u64] = &[
+        64,
+        1 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        16 << 20,
+    ];
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds; `counts` has one extra overflow slot.
+    bounds: &'static [u64],
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram with deterministic integer quantiles.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.total.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        let counts: Vec<u64> = core
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let quantile = |q_num: u64, q_den: u64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile sample, 1-based, rounded up.
+            let rank = (total * q_num).div_ceil(q_den).max(1);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Overflow bucket reports the largest finite bound.
+                    return core
+                        .bounds
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| core.bounds.last().copied().unwrap_or(u64::MAX));
+                }
+            }
+            core.bounds.last().copied().unwrap_or(0)
+        };
+        HistogramSnapshot {
+            count: total,
+            sum: core.sum.load(Ordering::Relaxed),
+            p50: quantile(50, 100),
+            p95: quantile(95, 100),
+            p99: quantile(99, 100),
+            buckets: core
+                .bounds
+                .iter()
+                .zip(counts.iter())
+                .filter(|(_, &c)| c > 0)
+                .map(|(&b, &c)| (b, c))
+                .collect(),
+            overflow: counts[core.bounds.len()],
+        }
+    }
+}
+
+/// Point-in-time view of one [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Median, as the upper bound of the bucket holding the p50 sample.
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Non-empty finite buckets as `(upper_bound, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+    /// Observations above the last finite bound.
+    pub overflow: u64,
+}
+
+#[derive(Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Registration key: static name + runtime label (usually empty).
+type Key = (&'static str, String);
+
+#[derive(Debug)]
+struct Inner {
+    time: TimeSource,
+    instruments: Mutex<BTreeMap<Key, Instrument>>,
+    sink: Mutex<Option<Arc<dyn EventSink>>>,
+    /// Minimum level that reaches the sink; `LEVEL_OFF` = no sink.
+    min_level: AtomicU8,
+}
+
+const LEVEL_OFF: u8 = u8::MAX;
+
+/// The shared registry; see the [module docs](self). Cloning is cheap
+/// and all clones share the same instruments, clock and sink.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// New empty registry reading time from `time`.
+    pub fn new(time: TimeSource) -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                time,
+                instruments: Mutex::new(BTreeMap::new()),
+                sink: Mutex::new(None),
+                min_level: AtomicU8::new(LEVEL_OFF),
+            }),
+        }
+    }
+
+    /// Convenience: registry on a wall clock.
+    pub fn new_wall() -> Registry {
+        Registry::new(TimeSource::wall())
+    }
+
+    /// Convenience: registry on a virtual (manually advanced) clock.
+    pub fn new_manual() -> Registry {
+        Registry::new(TimeSource::manual())
+    }
+
+    /// The registry's clock.
+    pub fn time(&self) -> &TimeSource {
+        &self.inner.time
+    }
+
+    /// Current clock reading in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.inner.time.now_micros()
+    }
+
+    /// Get-or-create an unlabeled counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_with(name, "")
+    }
+
+    /// Get-or-create a labeled counter (e.g. per-peer).
+    pub fn counter_with(&self, name: &'static str, label: &str) -> Counter {
+        let mut map = self.inner.instruments.lock().unwrap();
+        match map
+            .entry((name, label.to_string()))
+            .or_insert_with(|| Instrument::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} registered as a non-counter"),
+        }
+    }
+
+    /// Get-or-create an unlabeled gauge.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_with(name, "")
+    }
+
+    /// Get-or-create a labeled gauge.
+    pub fn gauge_with(&self, name: &'static str, label: &str) -> Gauge {
+        let mut map = self.inner.instruments.lock().unwrap();
+        match map
+            .entry((name, label.to_string()))
+            .or_insert_with(|| Instrument::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} registered as a non-gauge"),
+        }
+    }
+
+    /// Get-or-create an unlabeled histogram over `bounds` (see
+    /// [`buckets`] for presets).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind
+    /// or with different bounds.
+    pub fn histogram(&self, name: &'static str, bounds: &'static [u64]) -> Histogram {
+        self.histogram_with(name, "", bounds)
+    }
+
+    /// Get-or-create a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        label: &str,
+        bounds: &'static [u64],
+    ) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram {name:?} needs at least one bucket"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?} bounds must be strictly increasing"
+        );
+        let mut map = self.inner.instruments.lock().unwrap();
+        match map.entry((name, label.to_string())).or_insert_with(|| {
+            let counts: Box<[AtomicU64]> = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Instrument::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds,
+                counts,
+                total: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })))
+        }) {
+            Instrument::Histogram(h) => {
+                assert!(
+                    std::ptr::eq(h.0.bounds, bounds),
+                    "metric {name:?} re-registered with different bounds"
+                );
+                h.clone()
+            }
+            _ => panic!("metric {name:?} registered as a non-histogram"),
+        }
+    }
+
+    /// Install `sink` and forward records at `min_level` and above.
+    pub fn set_sink(&self, sink: Arc<dyn EventSink>, min_level: Level) {
+        *self.inner.sink.lock().unwrap() = Some(sink);
+        self.inner
+            .min_level
+            .store(min_level as u8, Ordering::Release);
+    }
+
+    /// Remove any installed sink (log calls become near-free again).
+    pub fn clear_sink(&self) {
+        self.inner.min_level.store(LEVEL_OFF, Ordering::Release);
+        *self.inner.sink.lock().unwrap() = None;
+    }
+
+    /// Would a record at `level` reach the sink? One relaxed atomic load.
+    #[inline]
+    pub fn log_enabled(&self, level: Level) -> bool {
+        level as u8 >= self.inner.min_level.load(Ordering::Relaxed)
+    }
+
+    /// Emit a structured record (prefer the [`obs_info!`](crate::obs_info)
+    /// family of macros, which check [`log_enabled`](Self::log_enabled)
+    /// before evaluating fields).
+    pub fn log(
+        &self,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: &[Field<'_>],
+    ) {
+        if !self.log_enabled(level) {
+            return;
+        }
+        let sink = self.inner.sink.lock().unwrap().clone();
+        if let Some(sink) = sink {
+            sink.emit(&Record {
+                at_micros: self.now_micros(),
+                level,
+                target,
+                name,
+                fields,
+            });
+        }
+    }
+
+    /// Point-in-time snapshot of every instrument, sorted by
+    /// `(name, label)`, timestamped from the registry clock.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.instruments.lock().unwrap();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for ((name, label), inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => counters.push((*name, label.clone(), c.get())),
+                Instrument::Gauge(g) => gauges.push((*name, label.clone(), g.get())),
+                Instrument::Histogram(h) => histograms.push((*name, label.clone(), h.snapshot())),
+            }
+        }
+        Snapshot {
+            at_micros: self.now_micros(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time, serialization-ready view of a [`Registry`].
+///
+/// Entries are `(name, label, value)` sorted by `(name, label)`;
+/// serializers render `name` alone when the label is empty and
+/// `name{label}` otherwise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Clock reading (µs) when the snapshot was taken.
+    pub at_micros: u64,
+    /// All counters.
+    pub counters: Vec<(&'static str, String, u64)>,
+    /// All gauges.
+    pub gauges: Vec<(&'static str, String, i64)>,
+    /// All histograms.
+    pub histograms: Vec<(&'static str, String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the counter `name{label}`, if present.
+    pub fn counter(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, l, _)| *n == name && l == label)
+            .map(|(_, _, v)| *v)
+    }
+
+    /// Value of the gauge `name{label}`, if present.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, l, _)| *n == name && l == label)
+            .map(|(_, _, v)| *v)
+    }
+
+    /// The histogram `name{label}`, if present.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, l, _)| *n == name && l == label)
+            .map(|(_, _, h)| h)
+    }
+
+    /// Sum of a counter across every label (e.g. total bytes over all
+    /// per-peer `net.bytes_in` counters).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _, _)| *n == name)
+            .map(|(_, _, v)| *v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = Registry::new_manual();
+        let c = reg.counter("a.count");
+        c.inc();
+        c.add(4);
+        // Same name → same instrument.
+        assert_eq!(reg.counter("a.count").get(), 5);
+
+        let g = reg.gauge("a.depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(reg.gauge("a.depth").get(), 5);
+    }
+
+    #[test]
+    fn labels_separate_instruments() {
+        let reg = Registry::new_manual();
+        reg.counter_with("bytes", "p0").add(10);
+        reg.counter_with("bytes", "p1").add(32);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("bytes", "p0"), Some(10));
+        assert_eq!(snap.counter("bytes", "p1"), Some(32));
+        assert_eq!(snap.counter_sum("bytes"), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new_manual();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let reg = Registry::new_manual();
+        let h = reg.histogram("lat", buckets::LATENCY_US);
+        for _ in 0..90 {
+            h.observe(5); // ≤ 10 bucket
+        }
+        for _ in 0..10 {
+            h.observe(50_000); // ≤ 100_000 bucket
+        }
+        let s = reg.snapshot();
+        let hs = s.histogram("lat", "").unwrap();
+        assert_eq!(hs.count, 100);
+        assert_eq!(hs.p50, 10);
+        assert_eq!(hs.p95, 100_000);
+        assert_eq!(hs.p99, 100_000);
+        assert_eq!(hs.buckets, vec![(10, 90), (100_000, 10)]);
+        assert_eq!(hs.overflow, 0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let reg = Registry::new_manual();
+        let h = reg.histogram("big", buckets::DEPTH);
+        h.observe(u64::MAX);
+        h.observe(0);
+        let s = reg.snapshot().histogram("big", "").unwrap().clone();
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 2);
+        // Overflow quantiles clamp to the largest finite bound.
+        assert_eq!(s.p99, *buckets::DEPTH.last().unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let reg = Registry::new_manual();
+        reg.histogram("none", buckets::LATENCY_US);
+        let s = reg.snapshot();
+        let hs = s.histogram("none", "").unwrap();
+        assert_eq!((hs.count, hs.sum, hs.p50, hs.p95, hs.p99), (0, 0, 0, 0, 0));
+        assert!(hs.buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_timestamped() {
+        let reg = Registry::new_manual();
+        reg.counter("z.last");
+        reg.counter("a.first");
+        reg.counter_with("m.mid", "b");
+        reg.counter_with("m.mid", "a");
+        reg.time().advance_to(123);
+        let snap = reg.snapshot();
+        assert_eq!(snap.at_micros, 123);
+        let names: Vec<_> = snap
+            .counters
+            .iter()
+            .map(|(n, l, _)| format!("{n}{{{l}}}"))
+            .collect();
+        assert_eq!(names, vec!["a.first{}", "m.mid{a}", "m.mid{b}", "z.last{}"]);
+    }
+
+    #[test]
+    fn clones_share_instruments() {
+        let reg = Registry::new_manual();
+        let c = reg.counter("shared");
+        let reg2 = reg.clone();
+        reg2.counter("shared").add(3);
+        assert_eq!(c.get(), 3);
+    }
+}

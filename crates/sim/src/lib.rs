@@ -14,10 +14,12 @@
 
 pub mod behavior;
 pub mod events;
+pub mod metrics;
 pub mod swarm;
 pub mod tracker;
 
 pub use behavior::{BehaviorProfile, CapacityClass, Role};
 pub use events::EventQueue;
+pub use metrics::SimMetrics;
 pub use swarm::{GlobalSample, Swarm, SwarmResult, SwarmSpec};
 pub use tracker::{PeerIdx, SimTracker};

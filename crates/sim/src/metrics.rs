@@ -1,0 +1,55 @@
+//! Swarm-level runtime telemetry (`bt-obs` integration).
+//!
+//! Attached with [`Swarm::with_metrics`](crate::swarm::Swarm::with_metrics).
+//! The registry should run on a *manual* clock
+//! ([`bt_obs::Registry::new_manual`]): the swarm advances it in lock
+//! step with the event queue, so snapshots are a pure function of the
+//! spec and seed — byte-identical across runs and across parallel jobs.
+//!
+//! Engine-level series (`core.*`) register unlabeled, so every peer's
+//! engine shares one aggregate set of counters; swarm-level series live
+//! under `sim.*`.
+
+use bt_core::EngineMetrics;
+use bt_obs::{Counter, Gauge, Registry};
+
+/// Pre-registered `bt-obs` handles for one [`Swarm`](crate::swarm::Swarm).
+#[derive(Clone, Debug)]
+pub struct SimMetrics {
+    registry: Registry,
+    /// Shared (aggregate) engine instruments, cloned into every peer.
+    pub(crate) engine: EngineMetrics,
+
+    pub(crate) events: Counter,
+    pub(crate) transfer_rounds: Counter,
+    pub(crate) blocks_delivered: Counter,
+
+    pub(crate) virtual_secs: Gauge,
+    pub(crate) live_peers: Gauge,
+    pub(crate) completed_peers: Gauge,
+    pub(crate) interested_pairs: Gauge,
+    pub(crate) unchoked_pairs: Gauge,
+}
+
+impl SimMetrics {
+    /// Register (or re-acquire) the swarm instruments on `registry`.
+    pub fn register(registry: &Registry) -> SimMetrics {
+        SimMetrics {
+            registry: registry.clone(),
+            engine: EngineMetrics::register(registry),
+            events: registry.counter("sim.events"),
+            transfer_rounds: registry.counter("sim.transfer_rounds"),
+            blocks_delivered: registry.counter("sim.blocks_delivered"),
+            virtual_secs: registry.gauge("sim.virtual_secs"),
+            live_peers: registry.gauge("sim.live_peers"),
+            completed_peers: registry.gauge("sim.completed_peers"),
+            interested_pairs: registry.gauge("sim.interested_pairs"),
+            unchoked_pairs: registry.gauge("sim.unchoked_pairs"),
+        }
+    }
+
+    /// The registry the handles live in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}

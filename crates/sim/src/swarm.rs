@@ -22,6 +22,7 @@
 
 use crate::behavior::{BehaviorProfile, Role};
 use crate::events::EventQueue;
+use crate::metrics::SimMetrics;
 use crate::tracker::{PeerIdx, SimTracker};
 use bt_core::{Action, Config, ConnId, DataMode, Engine, EngineBuilder, Input};
 use bt_instrument::trace::{Trace, TraceMeta};
@@ -163,6 +164,9 @@ pub struct SwarmResult {
     pub tracker_completed: u64,
     /// Ground-truth replication snapshots (when `sample_global` is set).
     pub global_series: Vec<GlobalSample>,
+    /// Deterministic metrics snapshots, one per sampling period plus a
+    /// final one, when [`Swarm::with_metrics`] attached a registry.
+    pub metrics: Vec<bt_obs::Snapshot>,
 }
 
 enum Ev {
@@ -225,6 +229,8 @@ pub struct Swarm {
     global_series: Vec<GlobalSample>,
     info_hash: [u8; 20],
     uses_global_picker: bool,
+    metrics: Option<SimMetrics>,
+    metric_snapshots: Vec<bt_obs::Snapshot>,
 }
 
 impl Swarm {
@@ -360,7 +366,31 @@ impl Swarm {
             global_series: Vec::new(),
             info_hash,
             uses_global_picker,
+            metrics: None,
+            metric_snapshots: Vec::new(),
         }
+    }
+
+    /// Attach a `bt-obs` registry: every engine reports aggregate
+    /// `core.*` series into it, the swarm reports `sim.*` series, and
+    /// [`SwarmResult::metrics`] carries one snapshot per sampling
+    /// period. Pass a manual-clock registry
+    /// ([`bt_obs::Registry::new_manual`]) for deterministic snapshots;
+    /// the swarm keeps its clock in step with virtual time.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: bt_obs::Registry) -> Swarm {
+        let metrics = SimMetrics::register(&registry);
+        for p in &mut self.peers {
+            p.engine.set_metrics(metrics.engine.clone());
+        }
+        // Snapshots ride the sampling period; make sure it fires even
+        // when neither a local trace nor global sampling asked for it.
+        if self.spec.local.is_none() && !self.spec.sample_global {
+            self.queue
+                .schedule(Instant(self.spec.sample_every.0), Ev::Sample);
+        }
+        self.metrics = Some(metrics);
+        self
     }
 
     fn initial_bitfield(
@@ -426,12 +456,25 @@ impl Swarm {
             }
             let (now, ev) = self.queue.pop().expect("peeked");
             self.events_processed += 1;
+            if let Some(m) = &self.metrics {
+                m.registry().time().advance_to(now.0);
+                m.events.inc();
+            }
             self.handle(now, ev);
         }
         self.finish(end)
     }
 
     fn finish(mut self, end: Instant) -> SwarmResult {
+        if self.metrics.is_some() {
+            if let Some(m) = &self.metrics {
+                m.registry().time().advance_to(end.0);
+            }
+            self.update_metric_gauges(end);
+            if let Some(m) = &self.metrics {
+                self.metric_snapshots.push(m.registry().snapshot());
+            }
+        }
         let trace = self
             .spec
             .local
@@ -449,7 +492,34 @@ impl Swarm {
             tracker_started: self.tracker.started,
             tracker_completed: self.tracker.completed,
             global_series: self.global_series,
+            metrics: self.metric_snapshots,
         }
+    }
+
+    /// Refresh the `sim.*` gauges from swarm state: virtual progress,
+    /// peer liveness, and the sizes of the interest/unchoke matrices
+    /// (directed edges over live connections).
+    fn update_metric_gauges(&mut self, now: Instant) {
+        let Some(m) = &self.metrics else { return };
+        let mut live = 0i64;
+        let mut interested = 0i64;
+        let mut unchoked = 0i64;
+        for p in &self.peers {
+            if !p.alive {
+                continue;
+            }
+            live += 1;
+            for conn in p.engine.connections() {
+                interested += i64::from(conn.am_interested);
+                unchoked += i64::from(!conn.am_choking);
+            }
+        }
+        m.virtual_secs.set(now.as_secs_f64() as i64);
+        m.live_peers.set(live);
+        m.completed_peers
+            .set(self.completion.iter().flatten().count() as i64);
+        m.interested_pairs.set(interested);
+        m.unchoked_pairs.set(unchoked);
     }
 
     // ------------------------------------------------------------------
@@ -499,6 +569,9 @@ impl Swarm {
                 if self.uses_global_picker {
                     self.push_global_counts();
                 }
+                if let Some(m) = &self.metrics {
+                    m.transfer_rounds.inc();
+                }
                 self.queue
                     .schedule(now + self.spec.transfer_round, Ev::TransferRound);
             }
@@ -510,6 +583,12 @@ impl Swarm {
                 }
                 if self.spec.sample_global {
                     self.sample_global_truth(now);
+                }
+                if self.metrics.is_some() {
+                    self.update_metric_gauges(now);
+                    if let Some(m) = &self.metrics {
+                        self.metric_snapshots.push(m.registry().snapshot());
+                    }
                 }
                 self.queue
                     .schedule(now + self.spec.sample_every, Ev::Sample);
@@ -606,6 +685,9 @@ impl Swarm {
                     .wrapping_add(u64::from(p.restarts)),
             )
             .build();
+        if let Some(m) = &self.metrics {
+            p.engine.set_metrics(m.engine.clone());
+        }
         p.was_seed = p.engine.is_seed();
         p.engine.handle(now, Input::Start);
         if let Some(at) = pending {
@@ -951,6 +1033,9 @@ impl Swarm {
             v[pos] ^= 0xFF;
             data = Bytes::from(v);
         }
+        if let Some(m) = &self.metrics {
+            m.blocks_delivered.inc();
+        }
         self.peers[from].engine.handle(
             now,
             Input::BlockSent {
@@ -1203,6 +1288,43 @@ mod tests {
             last.single_copy_pieces, 8,
             "a lone seed holds every piece singly"
         );
+    }
+
+    #[test]
+    fn metrics_are_deterministic_and_do_not_perturb_the_run() {
+        let run = |with_metrics: bool| {
+            let swarm = Swarm::new(tiny_spec(7));
+            if with_metrics {
+                swarm.with_metrics(bt_obs::Registry::new_manual()).run()
+            } else {
+                swarm.run()
+            }
+        };
+        let a = run(true);
+        let b = run(true);
+        let bare = run(false);
+        // Same spec + same seed ⇒ byte-identical snapshot lines.
+        let lines_a: Vec<String> = a.metrics.iter().map(|s| s.to_jsonl_line()).collect();
+        let lines_b: Vec<String> = b.metrics.iter().map(|s| s.to_jsonl_line()).collect();
+        assert!(!lines_a.is_empty());
+        assert_eq!(lines_a, lines_b);
+        // Attaching metrics must not change what the engines do.
+        assert_eq!(a.completion, bare.completion);
+        assert_eq!(a.events_processed, bare.events_processed);
+        assert_eq!(a.trace.unwrap().events, bare.trace.unwrap().events);
+        // The aggregate engine and swarm series actually accumulated.
+        let last = a.metrics.last().unwrap();
+        assert!(last.counter_sum("core.inputs.message") > 0);
+        assert!(last.counter_sum("core.actions.send") > 0);
+        assert!(last.counter_sum("core.pieces_completed") > 0);
+        assert!(last.counter_sum("sim.events") > 0);
+        assert!(last.counter_sum("sim.blocks_delivered") > 0);
+        assert_eq!(last.gauge("sim.completed_peers", ""), Some(4));
+        // Virtual-clock registry: choke rounds observed, zero-width.
+        let hist = last
+            .histogram("core.choke_round_us", "")
+            .expect("histogram");
+        assert!(hist.count > 0);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct RunConfig {
     pub base_config: Config,
     /// Carry real bytes and verify hashes (slower; for small scenarios).
     pub real_data: bool,
+    /// Attach a manual-clock `bt-obs` registry to every swarm; the
+    /// deterministic snapshots land in
+    /// [`SwarmResult::metrics`](bt_sim::swarm::SwarmResult::metrics).
+    pub metrics: bool,
 }
 
 impl Default for RunConfig {
@@ -69,6 +73,7 @@ impl Default for RunConfig {
             transient_available: 0.35,
             base_config: Config::default(),
             real_data: false,
+            metrics: false,
         }
     }
 }
@@ -278,8 +283,12 @@ pub fn build_swarm_spec(spec: &ScenarioSpec, cfg: &RunConfig) -> (SwarmSpec, Sca
 /// Run one Table I scenario end to end.
 pub fn run_scenario(spec: &ScenarioSpec, cfg: &RunConfig) -> ScenarioOutcome {
     let (mut swarm_spec, scaled) = build_swarm_spec(spec, cfg);
+    let mut swarm = Swarm::new(std::mem::take(&mut swarm_spec));
+    if cfg.metrics {
+        swarm = swarm.with_metrics(bt_obs::Registry::new_manual());
+    }
     // Label the trace with the Table I identity.
-    let result = Swarm::new(std::mem::take(&mut swarm_spec)).run();
+    let result = swarm.run();
     let mut trace = result.trace.as_ref().expect("local peer recorded").clone();
     trace.meta.torrent = spec.label();
     trace.meta.torrent_id = spec.id;

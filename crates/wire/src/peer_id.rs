@@ -66,6 +66,15 @@ impl ClientKind {
     }
 }
 
+/// SplitMix64 finalizer: a bijection on `u64`, so distinct inputs stay
+/// distinct while adjacent values scatter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 /// A 20-byte peer identifier: an 8-byte client ID plus 12 random bytes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PeerId(pub [u8; PEER_ID_LEN]);
@@ -74,18 +83,21 @@ impl PeerId {
     /// Build a peer ID for `kind` with the given random suffix.
     ///
     /// The suffix models the per-process random string; restarting a client
-    /// produces a new suffix but the same client ID.
+    /// produces a new suffix but the same client ID. Distinct suffixes are
+    /// guaranteed distinct IDs: the suffix is scrambled by a bijective
+    /// 64-bit mixer and then written out as eleven base-75 digits
+    /// (75^11 > 2^64), so the digits encode the whole mixed value.
     pub fn new(kind: ClientKind, random_suffix: u64) -> PeerId {
         let mut bytes = [0u8; PEER_ID_LEN];
         bytes[..8].copy_from_slice(kind.client_id().as_bytes());
-        // 12 printable bytes derived from the suffix.
-        let mut state = random_suffix | 1;
-        for b in bytes[8..].iter_mut() {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            *b = b'0' + ((state >> 33) % 75) as u8; // printable ASCII range
+        // 12 printable bytes derived from the suffix: eleven injective
+        // base-75 digits of the mixed suffix plus one decorative byte.
+        let mut state = splitmix64(random_suffix);
+        for b in bytes[8..19].iter_mut() {
+            *b = b'0' + (state % 75) as u8; // printable ASCII range
+            state /= 75;
         }
+        bytes[19] = b'0' + (splitmix64(!random_suffix) % 75) as u8;
         PeerId(bytes)
     }
 
@@ -164,6 +176,29 @@ mod tests {
     fn suffix_is_printable() {
         let id = PeerId::new(ClientKind::LibTorrent, u64::MAX);
         assert!(id.0[8..].iter().all(|b| b.is_ascii_graphic()));
+    }
+
+    #[test]
+    fn distinct_suffixes_yield_distinct_ids() {
+        // Regression: the generator used to seed itself with
+        // `suffix | 1`, collapsing every even/odd adjacent pair
+        // (bt-net had to step its suffixes by 2 to dodge it).
+        let mut seen = std::collections::HashSet::new();
+        for suffix in 0..4096u64 {
+            assert!(
+                seen.insert(PeerId::new(ClientKind::Mainline402, suffix)),
+                "suffix {suffix} collided with an earlier suffix"
+            );
+        }
+        // The historical failure mode, spelled out.
+        for even in [0u64, 2, 40, 1000, u64::MAX - 1] {
+            assert_ne!(
+                PeerId::new(ClientKind::Azureus, even),
+                PeerId::new(ClientKind::Azureus, even | 1),
+                "adjacent even/odd suffixes {even}/{} must differ",
+                even | 1
+            );
+        }
     }
 
     #[test]

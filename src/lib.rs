@@ -18,6 +18,8 @@
 //! * [`net`] — the real-socket runtime driving the *same* engine over
 //!   non-blocking TCP, with an accelerated virtual clock;
 //! * [`instrument`] — trace records and peer identification;
+//! * [`obs`] — runtime telemetry: metrics registry (counters, gauges,
+//!   histograms) and leveled structured event log;
 //! * [`analysis`] — entropy, replication, interarrival, fairness and
 //!   unchoke-correlation metrics;
 //! * [`torrents`] — the Table I scenarios and the scenario runner.
@@ -52,6 +54,7 @@ pub use bt_choke as choke;
 pub use bt_core as core;
 pub use bt_instrument as instrument;
 pub use bt_net as net;
+pub use bt_obs as obs;
 pub use bt_piece as piece;
 pub use bt_sim as sim;
 pub use bt_torrents as torrents;

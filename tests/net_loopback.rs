@@ -11,6 +11,7 @@
 use bt_repro::analysis::{entropy, SessionSummary};
 use bt_repro::instrument::TraceEvent;
 use bt_repro::net::{run_loopback_swarm, LoopbackSpec};
+use bt_repro::obs::{to_prometheus, Registry};
 
 #[test]
 fn loopback_swarm_completes_and_traces_analyse() {
@@ -86,4 +87,71 @@ fn loopback_swarm_completes_and_traces_analyse() {
     assert_eq!(summary.pieces.count as u32, num_pieces);
     assert!(summary.connections >= 1, "leecher must have met peers");
     assert!(summary.messages.overhead_ratio() >= 0.0);
+}
+
+/// The `bt-obs` integration over real sockets: a swarm sharing one
+/// registry produces a parseable snapshot with non-zero traffic
+/// counters, per-peer labels, engine-level series, and a populated
+/// handshake-latency histogram — the CI contract for `--metrics`.
+#[test]
+fn loopback_swarm_reports_metrics() {
+    let registry = Registry::new_wall();
+    let spec = LoopbackSpec {
+        seeds: 1,
+        leechers: 1,
+        total_len: 8 * 32 * 1024,
+        max_wall: std::time::Duration::from_secs(30),
+        metrics: Some(registry.clone()),
+        ..LoopbackSpec::default()
+    };
+    let result = run_loopback_swarm(spec).expect("loopback swarm runs");
+    assert_eq!(result.completed_leechers, 1, "leecher must finish");
+
+    let snap = registry.snapshot();
+
+    // The JSONL snapshot must be valid JSON with the expected shape.
+    let line = snap.to_jsonl_line();
+    let parsed: serde_json::Value =
+        serde_json::from_str(&line).expect("snapshot line parses as JSON");
+    let serde_json::Value::Object(top) = parsed else {
+        panic!("snapshot is not a JSON object");
+    };
+    for key in ["t", "counters", "gauges", "histograms"] {
+        assert!(top.contains_key(key), "snapshot missing {key:?}");
+    }
+
+    // Real bytes moved in both directions, on distinguishable per-peer
+    // series that agree with the aggregate.
+    assert!(snap.counter_sum("net.bytes_in") > 0, "no bytes read");
+    assert!(snap.counter_sum("net.bytes_out") > 0, "no bytes written");
+    let per_peer: u64 = (0..2)
+        .map(|i| {
+            snap.counter("net.bytes_in", &format!("peer{i}"))
+                .expect("per-peer bytes_in series")
+        })
+        .sum();
+    assert_eq!(per_peer, snap.counter_sum("net.bytes_in"));
+
+    // Both ends completed at least one handshake (cross-dials and
+    // duplicate-connection refusals can add more), and latency was
+    // observed for each.
+    assert!(snap.counter_sum("net.handshakes_ok") >= 2);
+    let hist = snap
+        .histogram("net.handshake_us", "peer0")
+        .expect("handshake histogram registered");
+    assert!(hist.count >= 1, "handshake latency never observed");
+
+    // Engine-level series ride the same registry under the same labels.
+    assert!(snap.counter_sum("core.inputs.message") > 0);
+    assert!(snap.counter_sum("core.actions.send") > 0);
+    assert_eq!(snap.counter_sum("core.pieces_completed"), 8);
+
+    // The Prometheus exposition covers the same series.
+    let prom = to_prometheus(&snap);
+    assert!(prom.contains("net_bytes_in{label=\"peer0\"}"));
+    assert!(prom.contains("net_handshake_us_count"));
+
+    // The legacy NetStats view and the registry agree.
+    let stats_msgs: u64 = result.outcomes.iter().map(|o| o.stats.messages_in).sum();
+    assert_eq!(stats_msgs, snap.counter_sum("net.messages_in"));
 }
