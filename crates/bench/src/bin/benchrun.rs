@@ -1,0 +1,365 @@
+//! `benchrun` — the fixed performance suite behind `BENCH_*.json`.
+//!
+//! ```text
+//! benchrun [--quick] [--out FILE] [--compare baseline.json]
+//! ```
+//!
+//! Runs four workloads and writes one machine-readable JSON report
+//! (default `BENCH_PR5.json`, for the repo's perf trajectory):
+//!
+//! 1. **Simulator throughput** — the Table I sweep at seed 42 on 1 and
+//!    8 workers (`--quick`: a 3-torrent subset), reported as events/sec;
+//! 2. **Transport throughput** — a loopback `--net` swarm over real
+//!    TCP, reported as framed bytes/sec;
+//! 3. **Microbenches** — wire encode/decode and the rarest-first pick,
+//!    run through the criterion shim's collection mode;
+//! 4. **Self-profile** — a wall-profiled simulator run; the top-10
+//!    self-time spans identify where the engine actually spends time.
+//!
+//! `--compare FILE` re-reads a previous report and exits non-zero if
+//! any headline throughput regressed more than 15 % (current <
+//! 0.85 × baseline). Workloads are deterministic; wall times are not —
+//! committed baselines should be relaxed (halved) so slower CI machines
+//! pass.
+
+use bt_obs::{Profiler, TimeSource};
+use bt_piece::{Availability, Bitfield, PickContext, PickerKind};
+use bt_sim::Swarm;
+use bt_torrents::{build_swarm_spec, run_scenarios_parallel, table1, torrent, RunConfig};
+use bt_wire::message::{BlockRef, Decoder, Message};
+use bytes::Bytes;
+use criterion::{black_box, BenchResult, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// A headline regresses when it falls below this fraction of baseline.
+const REGRESSION_FLOOR: f64 = 0.85;
+
+/// Build an object `Value` from literal key/value pairs.
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn field<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    match value {
+        Value::Object(map) => map.get(key),
+        _ => None,
+    }
+}
+
+fn as_object(value: &Value) -> Option<&BTreeMap<String, Value>> {
+    match value {
+        Value::Object(map) => Some(map),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_str = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let compare = flag_str("--compare");
+
+    let report = run_suite(quick);
+    let text = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, text + "\n").unwrap_or_else(|e| {
+        eprintln!("benchrun: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("report written   : {out_path}");
+
+    if let Some(baseline_path) = compare {
+        let regressions = compare_to_baseline(&report, &baseline_path);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("benchrun: REGRESSION {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("compare          : no headline regressed beyond 15% of {baseline_path}");
+    }
+}
+
+fn run_suite(quick: bool) -> Value {
+    let cfg = if quick {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    let specs = if quick {
+        vec![torrent(2), torrent(19), torrent(3)]
+    } else {
+        table1().to_vec()
+    };
+
+    // 1. Simulator throughput, 1 and 8 workers over the same workload.
+    let mut sim = Vec::new();
+    let mut sim_eps = [0.0f64; 2];
+    for (slot, jobs) in [1usize, 8].into_iter().enumerate() {
+        eprintln!(
+            "[1/4] table I sweep: {} torrents, {jobs} job(s) ...",
+            specs.len()
+        );
+        let t0 = std::time::Instant::now();
+        let outcomes = run_scenarios_parallel(&cfg, &specs, jobs, |_| {});
+        let wall = t0.elapsed().as_secs_f64();
+        let events: u64 = outcomes.iter().map(|o| o.result.events_processed).sum();
+        sim_eps[slot] = events as f64 / wall.max(1e-9);
+        sim.push((
+            format!("jobs{jobs}"),
+            obj(vec![
+                ("wall_secs", Value::Float(wall)),
+                ("events", Value::PosInt(events)),
+                ("torrents", Value::PosInt(outcomes.len() as u64)),
+                ("events_per_sec", Value::Float(sim_eps[slot])),
+            ]),
+        ));
+    }
+
+    // 2. Loopback TCP throughput.
+    eprintln!("[2/4] loopback net swarm ...");
+    let pieces: u64 = if quick { 32 } else { 128 };
+    let net_spec = bt_net::LoopbackSpec {
+        seeds: 1,
+        leechers: 2,
+        total_len: pieces * 32 * 1024,
+        record: false,
+        ..bt_net::LoopbackSpec::default()
+    };
+    let leechers = net_spec.leechers;
+    let net = bt_net::run_loopback_swarm(net_spec).unwrap_or_else(|e| {
+        eprintln!("benchrun: net swarm failed: {e}");
+        std::process::exit(1);
+    });
+    let net_bytes: u64 = net.outcomes.iter().map(|o| o.stats.bytes_in).sum();
+    let net_wall = net.wall_elapsed.as_secs_f64();
+    let net_bps = net_bytes as f64 / net_wall.max(1e-9);
+
+    // 3. Microbenches through the collecting criterion driver.
+    eprintln!("[3/4] microbenches ...");
+    let micro = micro_benches(quick);
+    let micro_rate = |group: &str, name: &str| {
+        micro
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map(|r| {
+                r.bytes_per_sec()
+                    .or_else(|| r.iters_per_sec())
+                    .unwrap_or(0.0)
+            })
+            .unwrap_or(0.0)
+    };
+
+    // 4. Wall-profiled simulator run: where does the time actually go?
+    eprintln!("[4/4] wall-profiled simulator run ...");
+    let (swarm_spec, _) = build_swarm_spec(&torrent(3), &cfg);
+    let profiler = Profiler::new(TimeSource::wall());
+    let result = Swarm::new(swarm_spec).with_profiler(profiler).run();
+    let profile = result.profile.expect("profiler attached");
+    let top_spans: Vec<Value> = profile
+        .top_self(10)
+        .into_iter()
+        .map(|(name, stat)| {
+            obj(vec![
+                ("name", Value::Str(name.to_string())),
+                ("self_us", Value::PosInt(stat.self_us)),
+                ("total_us", Value::PosInt(stat.total_us)),
+                ("count", Value::PosInt(stat.count)),
+            ])
+        })
+        .collect();
+
+    let headlines = obj(vec![
+        ("sim_events_per_sec_jobs1", Value::Float(sim_eps[0])),
+        ("sim_events_per_sec_jobs8", Value::Float(sim_eps[1])),
+        ("net_bytes_per_sec", Value::Float(net_bps)),
+        (
+            "wire_encode_bytes_per_sec",
+            Value::Float(micro_rate("wire", "encode_piece_16k")),
+        ),
+        (
+            "wire_decode_bytes_per_sec",
+            Value::Float(micro_rate("wire", "decode_piece_16k")),
+        ),
+        (
+            "piece_picks_per_sec",
+            Value::Float(micro_rate("piece", "rarest_pick_1400")),
+        ),
+    ]);
+    println!("headlines:");
+    if let Some(map) = as_object(&headlines) {
+        for (k, v) in map {
+            println!("  {k:<28} {:.3e}", v.as_f64().unwrap_or(0.0));
+        }
+    }
+
+    obj(vec![
+        ("schema", Value::Str("bt-repro-bench-v1".to_string())),
+        ("quick", Value::Bool(quick)),
+        ("seed", Value::PosInt(cfg.seed)),
+        ("headlines", headlines),
+        (
+            "details",
+            obj(vec![
+                (
+                    "sim",
+                    Value::Object(sim.into_iter().collect::<BTreeMap<_, _>>()),
+                ),
+                (
+                    "net",
+                    obj(vec![
+                        ("wall_secs", Value::Float(net_wall)),
+                        ("bytes_in", Value::PosInt(net_bytes)),
+                        (
+                            "completed_leechers",
+                            Value::PosInt(net.completed_leechers as u64),
+                        ),
+                        ("leechers", Value::PosInt(leechers as u64)),
+                    ]),
+                ),
+                (
+                    "micro",
+                    Value::Array(
+                        micro
+                            .iter()
+                            .map(|r| {
+                                obj(vec![
+                                    ("group", Value::Str(r.group.clone())),
+                                    ("name", Value::Str(r.name.clone())),
+                                    ("ns_per_iter", Value::PosInt(r.ns_per_iter as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("top_self_spans", Value::Array(top_spans)),
+            ]),
+        ),
+    ])
+}
+
+/// Wire-codec and piece-pick microbenches, timed by the shim.
+fn micro_benches(quick: bool) -> Vec<BenchResult> {
+    let samples = if quick { 300 } else { 3000 };
+    let mut c = Criterion::collecting();
+
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(samples);
+    let piece_msg = Message::Piece {
+        block: BlockRef {
+            piece: 3,
+            offset: 16384,
+            length: 16384,
+        },
+        data: Bytes::from(vec![0xA5u8; 16384]),
+    };
+    let encoded = piece_msg.encode_to_vec();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_piece_16k", |b| {
+        b.iter(|| black_box(piece_msg.encode_to_vec()))
+    });
+    group.bench_function("decode_piece_16k", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::default();
+            dec.feed(&encoded);
+            black_box(dec.next_message().unwrap())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("piece");
+    group.sample_size(samples);
+    let pieces = 1400u32;
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut availability = Availability::new(pieces);
+    for _ in 0..80 {
+        let mut bf = Bitfield::new(pieces);
+        for p in 0..pieces {
+            if rng.random_bool(0.5) {
+                bf.set(p);
+            }
+        }
+        availability.add_peer(&bf);
+    }
+    let mut own = Bitfield::new(pieces);
+    for p in 0..pieces / 4 {
+        own.set(p * 2);
+    }
+    let remote = Bitfield::full(pieces);
+    let mut picker = PickerKind::RarestFirst.build(pieces);
+    let mut pick_rng = SmallRng::seed_from_u64(11);
+    group.bench_function("rarest_pick_1400", |b| {
+        b.iter(|| {
+            let never = |_p: u32| false;
+            let ctx = PickContext {
+                own: &own,
+                remote: &remote,
+                availability: &availability,
+                in_progress: &never,
+                downloaded_pieces: 100,
+            };
+            black_box(picker.pick(&ctx, &mut pick_rng))
+        })
+    });
+    group.finish();
+
+    c.results().to_vec()
+}
+
+/// Compare headlines against `baseline_path`; a returned entry is one
+/// regression message.
+fn compare_to_baseline(report: &Value, baseline_path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("benchrun: cannot read {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("benchrun: invalid baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let Some(base_heads) = field(&baseline, "headlines").and_then(as_object) else {
+        eprintln!("benchrun: baseline {baseline_path} has no headlines object");
+        std::process::exit(2);
+    };
+    let current = field(report, "headlines")
+        .and_then(as_object)
+        .expect("our own report has headlines");
+    let mut regressions = Vec::new();
+    for (key, base_val) in base_heads {
+        let base = base_val.as_f64().unwrap_or(0.0);
+        let Some(cur) = current.get(key).and_then(Value::as_f64) else {
+            regressions.push(format!("{key}: missing from current report"));
+            continue;
+        };
+        if base > 0.0 && cur < base * REGRESSION_FLOOR {
+            regressions.push(format!(
+                "{key}: {cur:.3e} is {:.1}% of baseline {base:.3e} (floor {:.0}%)",
+                cur / base * 100.0,
+                REGRESSION_FLOOR * 100.0
+            ));
+        } else {
+            println!(
+                "compare {key:<28} {:.1}% of baseline",
+                if base > 0.0 {
+                    cur / base * 100.0
+                } else {
+                    100.0
+                }
+            );
+        }
+    }
+    regressions
+}

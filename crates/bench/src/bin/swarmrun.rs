@@ -1,10 +1,12 @@
 //! `swarmrun` — run a swarm scenario from a JSON spec file.
 //!
 //! ```text
-//! swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--status] [--example]
-//! swarmrun --table1 [--quick] [--seed N] [--jobs N]
+//! swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl]
+//!          [--profile out.json] [--status] [--example]
+//! swarmrun --table1 [--quick] [--seed N] [--jobs N] [--profile out.json]
 //! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N]
-//!          [--trace out.jsonl] [--metrics out.jsonl] [--status]
+//!          [--trace out.jsonl] [--metrics out.jsonl] [--profile out.json]
+//!          [--metrics-addr 127.0.0.1:PORT] [--status]
 //! ```
 //!
 //! * `--example` prints a complete, runnable spec to stdout and exits;
@@ -13,9 +15,19 @@
 //!   (one per sampling period plus a final one) and prints a summary.
 //!   Simulator runs use a virtual-clock registry, so the file is
 //!   byte-identical for a given spec and seed; `--net` runs sample a
-//!   shared wall-clock registry periodically;
+//!   shared wall-clock registry periodically. If the run panics, a
+//!   drop guard still flushes a final snapshot to the file;
+//! * `--profile FILE` attaches a span profiler, writes the aggregated
+//!   call-tree profile as JSON and prints the pretty report. Simulator
+//!   and `--table1` profiles use the virtual clock (byte-identical for
+//!   a given seed, any `--jobs`); `--net` profiles measure wall time;
+//! * `--metrics-addr ADDR` (net mode) serves the live registry as
+//!   Prometheus text at `http://ADDR/metrics` for the duration of the
+//!   run (port 0 picks an ephemeral port, printed on stderr);
 //! * `--status` shows live one-line progress on stderr (net mode; the
-//!   simulator replays its sampled status lines after the run);
+//!   simulator replays its sampled status lines after the run). When
+//!   stderr is not a terminal each sample becomes its own line instead
+//!   of rewriting one;
 //! * `--table1` runs the whole 26-torrent Table I sweep on a worker
 //!   pool (`--jobs N`, default: all cores) and prints one summary line
 //!   per torrent — traces are identical for any job count;
@@ -32,11 +44,11 @@
 
 use bt_analysis::SessionSummary;
 use bt_net::LoopbackSpec;
-use bt_obs::{summary_text, Registry, Snapshot};
+use bt_obs::{summary_text, Profile, Profiler, Registry, Snapshot, TimeSource};
 use bt_sim::{BehaviorProfile, Swarm, SwarmSpec};
 use bt_torrents::RunConfig;
 use bt_wire::time::Duration;
-use std::io::Write;
+use std::io::{IsTerminal, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +66,7 @@ fn main() {
     }
     // Flag values double as positional-arg lookalikes; skip them when
     // searching for the spec path.
-    let flag_values: Vec<usize> = ["--trace", "--metrics"]
+    let flag_values: Vec<usize> = ["--trace", "--metrics", "--profile"]
         .iter()
         .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
         .collect();
@@ -65,20 +77,13 @@ fn main() {
         .map(|(_, a)| a)
     else {
         eprintln!(
-            "usage: swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--status] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--status]"
+            "usage: swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--profile out.json] [--status] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--profile out.json] [--metrics-addr ADDR] [--status]"
         );
         std::process::exit(2);
     };
-    let trace_out = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let metrics_out = args
-        .iter()
-        .position(|a| a == "--metrics")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let trace_out = flag_str(&args, "--trace");
+    let metrics_out = flag_str(&args, "--metrics");
+    let profile_out = flag_str(&args, "--profile");
     let status = args.iter().any(|a| a == "--status");
 
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -99,23 +104,36 @@ fn main() {
     );
     let local = spec.local;
     let mut swarm = Swarm::new(spec);
-    if metrics_out.is_some() || status {
+    let registry = (metrics_out.is_some() || status).then(Registry::new_manual);
+    if let Some(reg) = &registry {
         // Virtual-clock registry: the snapshot file is a deterministic
         // function of the spec and seed.
-        swarm = swarm.with_metrics(Registry::new_manual());
+        swarm = swarm.with_metrics(reg.clone());
+    }
+    // If the run panics, unwinding still flushes a final snapshot.
+    let mut flush_guard = match (&registry, &metrics_out) {
+        (Some(reg), Some(path)) => Some(MetricsFlushGuard::new(reg.clone(), path.clone())),
+        _ => None,
+    };
+    if profile_out.is_some() {
+        swarm = swarm.with_profiler(Profiler::new(TimeSource::manual()));
     }
     let result = swarm.run();
 
     if status {
         // The simulator runs synchronously in virtual time; replay the
         // sampled status line per snapshot instead of live updates.
+        let mut line = StatusLine::new();
         for snap in &result.metrics {
-            eprint!("\r{}", sim_status_line(snap));
+            line.update(&sim_status_line(snap));
         }
-        eprintln!();
+        line.finish();
     }
     if let Some(path) = &metrics_out {
         write_snapshots(path, &result.metrics);
+        if let Some(guard) = flush_guard.as_mut() {
+            guard.disarm();
+        }
         println!(
             "metrics written  : {path} ({} snapshots)",
             result.metrics.len()
@@ -123,6 +141,9 @@ fn main() {
         if let Some(last) = result.metrics.last() {
             print!("{}", summary_text(last));
         }
+    }
+    if let Some(path) = &profile_out {
+        write_profile(path, result.profile.as_ref().unwrap_or(&Profile::default()));
     }
     println!("events processed : {}", result.events_processed);
     println!("peers completed  : {} / {peers}", result.completed_peers);
@@ -201,16 +222,10 @@ fn run_net_swarm(args: &[String]) {
                 })
             })
     };
-    let trace_out = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let metrics_out = args
-        .iter()
-        .position(|a| a == "--metrics")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let trace_out = flag_str(args, "--trace");
+    let metrics_out = flag_str(args, "--metrics");
+    let profile_out = flag_str(args, "--profile");
+    let metrics_addr = flag_str(args, "--metrics-addr");
     let status = args.iter().any(|a| a == "--status");
     let mut spec = LoopbackSpec::default();
     if let Some(n) = flag_value("--seeds") {
@@ -225,14 +240,48 @@ fn run_net_swarm(args: &[String]) {
     if let Some(n) = flag_value("--seed") {
         spec.seed = n;
     }
-    let registry = (metrics_out.is_some() || status).then(Registry::new_wall);
+    let registry =
+        (metrics_out.is_some() || status || metrics_addr.is_some()).then(Registry::new_wall);
     spec.metrics = registry.clone();
+    let profiler = profile_out
+        .as_ref()
+        .map(|_| Profiler::new(TimeSource::wall()));
+    spec.profiler = profiler.clone();
     let piece_len = spec.piece_len;
     let (seeds, leechers) = (spec.seeds, spec.leechers);
     eprintln!(
         "running {seeds} seed(s) + {leechers} leecher(s), {} pieces over loopback TCP ...",
         spec.total_len / u64::from(piece_len)
     );
+
+    // If the run panics, unwinding still flushes a final snapshot.
+    let mut flush_guard = match (&registry, &metrics_out) {
+        (Some(reg), Some(path)) => Some(MetricsFlushGuard::new(reg.clone(), path.clone())),
+        _ => None,
+    };
+
+    // `--metrics-addr`: serve `GET /metrics` for the run's duration
+    // from a dedicated polling thread.
+    let server_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let server = metrics_addr.as_ref().map(|addr| {
+        let reg = registry.clone().expect("metrics-addr forces a registry");
+        let mut server = bt_net::MetricsServer::bind(addr, reg).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        });
+        match server.local_addr() {
+            Ok(bound) => eprintln!("metrics endpoint : http://{bound}/metrics"),
+            Err(e) => eprintln!("swarmrun: metrics endpoint bound, address unknown: {e}"),
+        }
+        let stop = std::sync::Arc::clone(&server_stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if !server.poll() {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        })
+    });
 
     // Sampler thread: every 250 ms wall, snapshot the shared registry —
     // append a JSONL line, update the one-line status display.
@@ -247,6 +296,7 @@ fn run_net_swarm(args: &[String]) {
                     std::process::exit(2);
                 })
             });
+            let mut line = StatusLine::new();
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 std::thread::sleep(std::time::Duration::from_millis(250));
                 let snap = reg.snapshot();
@@ -254,12 +304,10 @@ fn run_net_swarm(args: &[String]) {
                     let _ = writeln!(f, "{}", snap.to_jsonl_line());
                 }
                 if status {
-                    eprint!("\r{}", net_status_line(&snap));
+                    line.update(&net_status_line(&snap));
                 }
             }
-            if status {
-                eprintln!();
-            }
+            line.finish();
         })
     });
 
@@ -269,6 +317,10 @@ fn run_net_swarm(args: &[String]) {
     });
     sampler_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     if let Some(handle) = sampler {
+        let _ = handle.join();
+    }
+    server_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = server {
         let _ = handle.join();
     }
     if let Some(reg) = &registry {
@@ -282,9 +334,15 @@ fn run_net_swarm(args: &[String]) {
                     std::process::exit(2);
                 });
             let _ = writeln!(f, "{}", last.to_jsonl_line());
+            if let Some(guard) = flush_guard.as_mut() {
+                guard.disarm();
+            }
             println!("metrics written  : {path}");
         }
         print!("{}", summary_text(&last));
+    }
+    if let (Some(path), Some(prof)) = (&profile_out, &profiler) {
+        write_profile(path, &prof.snapshot());
     }
     println!(
         "peers completed  : {} / {leechers} leechers in {:.2?} wall",
@@ -365,6 +423,8 @@ fn run_table1_sweep(args: &[String]) {
     let jobs = flag_value("--jobs")
         .map(|n| n.max(1) as usize)
         .unwrap_or_else(bt_torrents::default_jobs);
+    let profile_out = flag_str(args, "--profile");
+    cfg.profile = profile_out.is_some();
 
     eprintln!("running the 26-torrent Table I sweep ({jobs} jobs) ...");
     let t0 = std::time::Instant::now();
@@ -396,6 +456,116 @@ fn run_table1_sweep(args: &[String]) {
         outcomes.len(),
         t0.elapsed()
     );
+    if let Some(path) = &profile_out {
+        // Each scenario profiled its own manual clock; merging in Table
+        // I order (the `outcomes` order) is commutative sums, so the
+        // merged profile is byte-identical for any `--jobs`.
+        let mut merged = Profile::default();
+        for o in &outcomes {
+            if let Some(p) = &o.profile {
+                merged.merge(p);
+            }
+        }
+        write_profile(path, &merged);
+    }
+}
+
+/// The string value following `name`, if present.
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Write a span profile as JSON and print the pretty report.
+fn write_profile(path: &str, profile: &Profile) {
+    std::fs::write(path, profile.to_json()).unwrap_or_else(|e| {
+        eprintln!("swarmrun: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("profile written  : {path}");
+    print!("{}", profile.render());
+}
+
+/// Live one-line progress on stderr: rewrites a single line on a
+/// terminal, emits one line per sample otherwise (logs, CI), and always
+/// ends with the line cleared onto its own newline.
+struct StatusLine {
+    tty: bool,
+    active: bool,
+}
+
+impl StatusLine {
+    fn new() -> StatusLine {
+        StatusLine {
+            tty: std::io::stderr().is_terminal(),
+            active: false,
+        }
+    }
+
+    fn update(&mut self, line: &str) {
+        if self.tty {
+            // `\r` + clear-to-end erases any longer previous line.
+            eprint!("\r\x1b[K{line}");
+            self.active = true;
+        } else {
+            eprintln!("{line}");
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.tty && self.active {
+            eprintln!();
+            self.active = false;
+        }
+    }
+}
+
+impl Drop for StatusLine {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Flushes one final registry snapshot to the `--metrics` file when
+/// dropped, unless [`disarm`](MetricsFlushGuard::disarm)ed — so a panic
+/// mid-run still leaves the last observed state on disk.
+struct MetricsFlushGuard {
+    registry: Registry,
+    path: String,
+    armed: bool,
+}
+
+impl MetricsFlushGuard {
+    fn new(registry: Registry, path: String) -> MetricsFlushGuard {
+        MetricsFlushGuard {
+            registry,
+            path,
+            armed: true,
+        }
+    }
+
+    /// The normal write path ran; the guard has nothing left to do.
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for MetricsFlushGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let snap = self.registry.snapshot();
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        {
+            let _ = writeln!(f, "{}", snap.to_jsonl_line());
+        }
+    }
 }
 
 /// Write one JSONL line per snapshot.

@@ -24,6 +24,7 @@ use crate::content::DataMode;
 use crate::engine::Engine;
 use crate::metrics::EngineMetrics;
 use bt_instrument::trace::TraceMeta;
+use bt_obs::Profiler;
 use bt_piece::{Bitfield, Geometry};
 use bt_wire::peer_id::{IpAddr, PeerId};
 use bt_wire::sha1::Digest;
@@ -41,6 +42,7 @@ pub struct EngineBuilder {
     pub(crate) seed: u64,
     pub(crate) recorder: Option<TraceMeta>,
     pub(crate) metrics: Option<EngineMetrics>,
+    pub(crate) profiler: Profiler,
 }
 
 impl EngineBuilder {
@@ -62,6 +64,7 @@ impl EngineBuilder {
             seed: 0,
             recorder: None,
             metrics: None,
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -115,6 +118,15 @@ impl EngineBuilder {
     /// piece-pick latency histograms on the handles' registry.
     pub fn metrics(mut self, metrics: EngineMetrics) -> EngineBuilder {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a span profiler ([`bt_obs::Profiler`]): engine `handle()`
+    /// dispatch, choke rounds and piece picks record hierarchical spans
+    /// into it. Defaults to [`Profiler::disabled`], which costs a
+    /// single branch per instrumented site.
+    pub fn profiler(mut self, profiler: Profiler) -> EngineBuilder {
+        self.profiler = profiler;
         self
     }
 

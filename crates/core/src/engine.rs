@@ -21,7 +21,7 @@ use crate::error::EngineError;
 use crate::metrics::EngineMetrics;
 use bt_choke::{Choker, PeerSnapshot};
 use bt_instrument::trace::{Trace, TraceEvent, UnchokeRole};
-use bt_obs::{obs_info, obs_warn};
+use bt_obs::{obs_info, obs_warn, Profiler};
 use bt_piece::{Availability, Bitfield, Geometry, PickContext, PiecePicker, RequestScheduler};
 use bt_wire::fast;
 use bt_wire::message::{BlockRef, Message};
@@ -149,6 +149,7 @@ pub struct Engine {
     actions: Actions,
     trace: Option<Trace>,
     metrics: Option<EngineMetrics>,
+    profiler: Profiler,
 }
 
 impl std::fmt::Debug for Engine {
@@ -163,6 +164,22 @@ impl std::fmt::Debug for Engine {
             .field("conns", &self.conns.len())
             .field("is_seed", &self.is_seed)
             .finish()
+    }
+}
+
+/// Span name for one [`Input`] variant (`core.handle.*`), so profiles
+/// break engine time down per input kind. See DESIGN.md §"Observability"
+/// for the naming convention.
+fn input_span_name(input: &Input) -> &'static str {
+    match input {
+        Input::Start => "core.handle.start",
+        Input::Tick => "core.handle.tick",
+        Input::TrackerResponse { .. } => "core.handle.tracker_response",
+        Input::PeerConnected { .. } => "core.handle.peer_connected",
+        Input::ConnectFailed => "core.handle.connect_failed",
+        Input::PeerDisconnected { .. } => "core.handle.peer_disconnected",
+        Input::Message { .. } => "core.handle.message",
+        Input::BlockSent { .. } => "core.handle.block_sent",
     }
 }
 
@@ -182,6 +199,7 @@ impl Engine {
             seed,
             recorder,
             metrics,
+            profiler,
         } = b;
         let num_pieces = geometry.num_pieces();
         let initial_pieces = initial_pieces.unwrap_or_else(|| Bitfield::new(num_pieces));
@@ -227,6 +245,7 @@ impl Engine {
             actions: Actions::default(),
             trace: recorder.map(Trace::new),
             metrics,
+            profiler,
         }
     }
 
@@ -241,6 +260,20 @@ impl Engine {
     /// True when runtime telemetry handles are attached.
     pub fn has_metrics(&self) -> bool {
         self.metrics.is_some()
+    }
+
+    /// Attach (or replace) a span profiler after construction — same
+    /// retrofit story as [`set_metrics`](Self::set_metrics); prefer
+    /// [`EngineBuilder::profiler`](crate::EngineBuilder::profiler)
+    /// otherwise. Like metrics, spans never touch the engine's RNG or
+    /// trace, so profiling cannot perturb deterministic runs.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// True when an enabled span profiler is attached.
+    pub fn has_profiler(&self) -> bool {
+        self.profiler.is_enabled()
     }
 
     // ------------------------------------------------------------------
@@ -359,6 +392,7 @@ impl Engine {
     /// emitted, and the [`EngineError`] is readable via
     /// [`Actions::take_error`].
     pub fn handle(&mut self, now: Instant, input: Input) -> &mut Actions {
+        let _span_guard = self.profiler.span(input_span_name(&input));
         self.actions.accepted = None;
         self.actions.error = None;
         let emitted_before = self.actions.items.len();
@@ -1146,9 +1180,11 @@ impl Engine {
             downloaded_pieces: downloaded,
         };
         let pick_started = self.metrics.as_ref().map(|m| m.registry.now_micros());
-        let reqs =
+        let reqs = {
+            let _span_guard = self.profiler.span("core.piece_pick");
             self.scheduler
-                .next_requests(conn, &ctx, self.picker.as_mut(), &mut self.rng, room);
+                .next_requests(conn, &ctx, self.picker.as_mut(), &mut self.rng, room)
+        };
         if let (Some(m), Some(t0)) = (&self.metrics, pick_started) {
             m.piece_pick_us
                 .observe(m.registry.now_micros().saturating_sub(t0));
@@ -1174,6 +1210,7 @@ impl Engine {
     /// harnesses that want an out-of-band round. It does **not** move
     /// the armed deadline.
     pub fn rechoke(&mut self, now: Instant) {
+        let _span_guard = self.profiler.span("core.choke_round");
         let round_started = self.metrics.as_ref().map(|m| m.registry.now_micros());
         let snapshots: Vec<PeerSnapshot> = {
             let mut v: Vec<PeerSnapshot> =

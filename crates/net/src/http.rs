@@ -1,0 +1,265 @@
+//! A tiny non-blocking `GET /metrics` HTTP listener.
+//!
+//! Serves the Prometheus text exposition of a [`bt_obs::Registry`]
+//! snapshot ([`bt_obs::to_prometheus`]) so a live `--net` run can be
+//! scraped with `curl` or a real Prometheus. Deliberately minimal and
+//! dependency-free, in the style of the [`crate::runtime`] poll loop:
+//! a non-blocking `TcpListener` plus a [`MetricsServer::poll`] pass the
+//! caller pumps from any thread. One snapshot is rendered per request;
+//! requests are parsed just enough to route `GET /metrics` and answer
+//! everything else with 404.
+
+use bt_obs::{to_prometheus, Registry};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Most bytes of request head we buffer before answering 400.
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// One accepted connection working through request → response.
+struct HttpConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    written: usize,
+    responding: bool,
+    deadline: std::time::Instant,
+}
+
+/// The `/metrics` listener; see the [module docs](self).
+pub struct MetricsServer {
+    listener: TcpListener,
+    registry: Registry,
+    conns: Vec<HttpConn>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9090"`, port 0 for ephemeral) and
+    /// serve snapshots of `registry`.
+    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(MetricsServer {
+            listener,
+            registry,
+            conns: Vec::new(),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// One non-blocking pass: accept waiting connections, read request
+    /// heads, write pending responses. Returns `true` if any byte
+    /// moved. Call this from a polling thread (a few ms apart is
+    /// plenty for a scrape endpoint).
+    pub fn poll(&mut self) -> bool {
+        let mut progressed = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        self.conns.push(HttpConn {
+                            stream,
+                            inbuf: Vec::with_capacity(256),
+                            outbuf: Vec::new(),
+                            written: 0,
+                            responding: false,
+                            deadline: std::time::Instant::now()
+                                + std::time::Duration::from_secs(10),
+                        });
+                        progressed = true;
+                    }
+                }
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let now = std::time::Instant::now();
+        let registry = self.registry.clone();
+        self.conns.retain_mut(|c| {
+            if now >= c.deadline {
+                return false;
+            }
+            if !c.responding {
+                match pump_request(c) {
+                    Pump::Progress => progressed = true,
+                    Pump::Idle => {}
+                    Pump::Dead => return false,
+                }
+                if !c.responding && request_head_complete(&c.inbuf) {
+                    c.outbuf = respond(&c.inbuf, &registry);
+                    c.responding = true;
+                }
+            }
+            if c.responding {
+                loop {
+                    if c.written == c.outbuf.len() {
+                        // Response fully flushed; close (Connection: close).
+                        return false;
+                    }
+                    match c.stream.write(&c.outbuf[c.written..]) {
+                        Ok(0) => return false,
+                        Ok(n) => {
+                            c.written += n;
+                            progressed = true;
+                        }
+                        Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => return false,
+                    }
+                }
+            }
+            true
+        });
+        progressed
+    }
+}
+
+enum Pump {
+    Progress,
+    Idle,
+    Dead,
+}
+
+/// Read whatever request bytes are available; cap head size.
+fn pump_request(c: &mut HttpConn) -> Pump {
+    let mut buf = [0u8; 1024];
+    let mut got = false;
+    loop {
+        match c.stream.read(&mut buf) {
+            Ok(0) => return Pump::Dead,
+            Ok(n) => {
+                c.inbuf.extend_from_slice(&buf[..n]);
+                got = true;
+                if c.inbuf.len() > MAX_REQUEST_HEAD {
+                    return Pump::Dead;
+                }
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Pump::Dead,
+        }
+    }
+    if got {
+        Pump::Progress
+    } else {
+        Pump::Idle
+    }
+}
+
+fn request_head_complete(inbuf: &[u8]) -> bool {
+    inbuf.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Route the request: `GET /metrics` gets the exposition, anything
+/// else 404, an unparsable request line 400.
+fn respond(inbuf: &[u8], registry: &Registry) -> Vec<u8> {
+    let head = String::from_utf8_lossy(inbuf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    match (method, path) {
+        ("GET", "/metrics") => {
+            let body = to_prometheus(&registry.snapshot());
+            http_response(
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+            )
+        }
+        ("GET", _) => http_response("404 Not Found", "text/plain", b"not found\n"),
+        _ => http_response("400 Bad Request", "text/plain", b"bad request\n"),
+    }
+}
+
+fn http_response(status: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        // Skip headers, then read the body to EOF (Connection: close).
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim().to_string(), body)
+    }
+
+    fn serve_one(server: &mut MetricsServer) {
+        // Pump until the connection is fully answered and closed.
+        for _ in 0..500 {
+            server.poll();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn serves_prometheus_exposition() {
+        let registry = Registry::new_manual();
+        registry.counter("net.bytes_in").add(42);
+        registry
+            .histogram("core.choke_round_us", bt_obs::buckets::LATENCY_US)
+            .observe(7);
+        let mut server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || get(addr, "/metrics"));
+        serve_one(&mut server);
+        let (status, body) = handle.join().unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("# TYPE net_bytes_in counter"));
+        assert!(body.contains("net_bytes_in 42"));
+        assert!(body.contains("core_choke_round_us_bucket{le=\"10\"} 1"));
+        // Parseable: every non-comment line is `name{labels} value`.
+        for line in body.lines().filter(|l| !l.starts_with('#')) {
+            let mut it = line.rsplitn(2, ' ');
+            let value = it.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable line: {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_400() {
+        let registry = Registry::new_manual();
+        let mut server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || get(addr, "/nope"));
+        serve_one(&mut server);
+        let (status, _) = handle.join().unwrap();
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        let handle = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "BREW /coffee HTTP/1.1\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut status = String::new();
+            reader.read_line(&mut status).unwrap();
+            status.trim().to_string()
+        });
+        serve_one(&mut server);
+        assert_eq!(handle.join().unwrap(), "HTTP/1.1 400 Bad Request");
+    }
+}

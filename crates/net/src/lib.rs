@@ -21,16 +21,21 @@
 //! - [`metrics::NetMetrics`] — `bt-obs` telemetry handles: every
 //!   runtime reports `net.*` counters, gauges and a handshake-latency
 //!   histogram, per-peer labeled when a swarm shares one registry.
+//! - [`http::MetricsServer`] — a tiny non-blocking `GET /metrics`
+//!   listener serving the registry's Prometheus exposition, so a live
+//!   run can be scraped with `curl`.
 
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod http;
 pub mod loopback;
 pub mod metrics;
 pub mod runtime;
 pub mod tracker;
 
 pub use clock::{AccelClock, DEFAULT_ACCEL};
+pub use http::MetricsServer;
 pub use loopback::{run_loopback_swarm, LoopbackResult, LoopbackSpec, PeerOutcome};
 pub use metrics::NetMetrics;
 pub use runtime::{peer_ip, NetConfig, NetRuntime, NetStats};

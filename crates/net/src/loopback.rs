@@ -46,6 +46,10 @@ pub struct LoopbackSpec {
     /// here under the label `peer<i>`. `None` leaves each runtime on a
     /// private wall-clock registry.
     pub metrics: Option<bt_obs::Registry>,
+    /// Shared span profiler; every runtime (and its engine) records
+    /// spans into it, giving a swarm-wide wall-clock profile. `None`
+    /// disables span recording.
+    pub profiler: Option<bt_obs::Profiler>,
 }
 
 impl Default for LoopbackSpec {
@@ -63,6 +67,7 @@ impl Default for LoopbackSpec {
             max_wall: std::time::Duration::from_secs(60),
             record: true,
             metrics: None,
+            profiler: None,
         }
     }
 }
@@ -153,6 +158,9 @@ pub fn run_loopback_swarm(spec: LoopbackSpec) -> std::io::Result<LoopbackResult>
         let mut net_cfg = spec.net.clone();
         if let Some(registry) = &spec.metrics {
             net_cfg.metrics = Some(registry.clone());
+        }
+        if let Some(profiler) = &spec.profiler {
+            net_cfg.profiler = Some(profiler.clone());
         }
         net_cfg.metrics_label = format!("peer{i}");
         runtimes.push(NetRuntime::new(

@@ -21,7 +21,7 @@ use crate::metrics::NetMetrics;
 use crate::tracker::LoopbackTracker;
 use bt_core::engine::PeerCaps;
 use bt_core::{Action, ConnId, DataMode, Engine, EngineMetrics, Input};
-use bt_obs::{obs_debug, obs_warn, Registry};
+use bt_obs::{obs_debug, obs_warn, Profiler, Registry};
 use bt_wire::handshake::{Handshake, HANDSHAKE_LEN};
 use bt_wire::message::{BlockRef, Decoder, Message, DEFAULT_MAX_FRAME};
 use bt_wire::peer_id::{IpAddr, PeerId};
@@ -72,6 +72,11 @@ pub struct NetConfig {
     /// (e.g. `"peer3"`), keeping per-peer series apart on a shared
     /// registry.
     pub metrics_label: String,
+    /// Shared span profiler: the poll loop records `net.*` spans and
+    /// `wire.encode`/`wire.decode` spans, with the engine's
+    /// `core.handle.*` spans nested inside. `None` (the default)
+    /// disables span recording entirely.
+    pub profiler: Option<Profiler>,
 }
 
 impl Default for NetConfig {
@@ -85,6 +90,7 @@ impl Default for NetConfig {
             max_frame: DEFAULT_MAX_FRAME,
             metrics: None,
             metrics_label: String::new(),
+            profiler: None,
         }
     }
 }
@@ -166,6 +172,7 @@ pub struct NetRuntime {
     pending: Vec<Pending>,
     dials: Vec<Dial>,
     metrics: NetMetrics,
+    profiler: Profiler,
     counted_complete: bool,
 }
 
@@ -184,12 +191,16 @@ impl NetRuntime {
         listener.set_nonblocking(true)?;
         let registry = cfg.metrics.clone().unwrap_or_else(Registry::new_wall);
         let metrics = NetMetrics::register(&registry, &cfg.metrics_label);
+        let profiler = cfg.profiler.clone().unwrap_or_else(Profiler::disabled);
         let mut engine = engine;
         if !engine.has_metrics() {
             engine.set_metrics(EngineMetrics::register_labeled(
                 &registry,
                 &cfg.metrics_label,
             ));
+        }
+        if !engine.has_profiler() {
+            engine.set_profiler(profiler.clone());
         }
         Ok(NetRuntime {
             engine,
@@ -202,6 +213,7 @@ impl NetRuntime {
             pending: Vec::new(),
             dials: Vec::new(),
             metrics,
+            profiler,
             counted_complete: false,
         })
     }
@@ -259,23 +271,29 @@ impl NetRuntime {
         let now = self.clock.now();
         self.feed(now, Input::Start);
         while !stop.load(Ordering::Relaxed) && started.elapsed() < max_wall {
-            let now = self.clock.now();
-            // Keep a manual (virtual-time) registry in step with the
-            // accelerated clock; a no-op on wall-clock registries.
-            self.metrics.registry().time().advance_to(now.0);
-            self.accept_pass(now);
-            self.dial_pass(now);
-            self.pending_pass(now);
-            let mut progressed = self.read_pass(now);
-            progressed |= self.write_pass(now);
-            self.timer_pass(now);
-            self.idle_pass(now);
-            if let Some(counter) = completed {
-                if !self.counted_complete && self.engine.is_seed() {
-                    self.counted_complete = true;
-                    counter.fetch_add(1, Ordering::SeqCst);
+            // The poll span covers one full pass but NOT the idle
+            // sleep, so `net.poll` self time is real work.
+            let progressed = {
+                let _span_guard = self.profiler.span("net.poll");
+                let now = self.clock.now();
+                // Keep a manual (virtual-time) registry in step with the
+                // accelerated clock; a no-op on wall-clock registries.
+                self.metrics.registry().time().advance_to(now.0);
+                self.accept_pass(now);
+                self.dial_pass(now);
+                self.pending_pass(now);
+                let mut progressed = self.read_pass(now);
+                progressed |= self.write_pass(now);
+                self.timer_pass(now);
+                self.idle_pass(now);
+                if let Some(counter) = completed {
+                    if !self.counted_complete && self.engine.is_seed() {
+                        self.counted_complete = true;
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
-            }
+                progressed
+            };
             if !progressed {
                 std::thread::sleep(self.cfg.poll_wait);
             }
@@ -347,12 +365,16 @@ impl NetRuntime {
     }
 
     fn queue_msg(&mut self, conn: ConnId, msg: Message, block: Option<BlockRef>) {
+        let profiler = self.profiler.clone();
         if let Some(c) = self.conns.get_mut(&conn) {
             if matches!(msg, Message::KeepAlive) {
                 self.metrics.keepalives_out.inc();
             }
             let mut buf = BytesMut::with_capacity(msg.wire_len());
-            msg.encode(&mut buf);
+            {
+                let _span_guard = profiler.span("wire.encode");
+                msg.encode(&mut buf);
+            }
             c.out.push_back(OutFrame {
                 buf: buf.to_vec(),
                 written: 0,
@@ -538,6 +560,8 @@ impl NetRuntime {
 
     /// Read available bytes on every connection and feed decoded frames.
     fn read_pass(&mut self, now: Instant) -> bool {
+        let profiler = self.profiler.clone();
+        let _span_guard = profiler.span("net.read_pass");
         let mut progressed = false;
         let mut buffered: i64 = 0;
         let ids: Vec<ConnId> = self.conns.keys().copied().collect();
@@ -570,15 +594,18 @@ impl NetRuntime {
                     }
                 }
             }
-            loop {
-                match c.decoder.next_message() {
-                    Ok(Some(msg)) => msgs.push(msg),
-                    Ok(None) => break,
-                    Err(_) => {
-                        // Framing violation: the stream is unrecoverable.
-                        framing_error = true;
-                        dead = true;
-                        break;
+            {
+                let _span_guard = profiler.span("wire.decode");
+                loop {
+                    match c.decoder.next_message() {
+                        Ok(Some(msg)) => msgs.push(msg),
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Framing violation: the stream is unrecoverable.
+                            framing_error = true;
+                            dead = true;
+                            break;
+                        }
                     }
                 }
             }
@@ -610,6 +637,7 @@ impl NetRuntime {
 
     /// Flush write queues; report fully-sent blocks to the engine.
     fn write_pass(&mut self, now: Instant) -> bool {
+        let _span_guard = self.profiler.span("net.write_pass");
         let mut progressed = false;
         let mut queued_frames: i64 = 0;
         let mut queued_bytes: i64 = 0;

@@ -293,6 +293,69 @@ mod tests {
     }
 
     #[test]
+    fn ring_sink_wraparound_keeps_newest_in_fifo_order() {
+        let ring = RingSink::new(4);
+        assert!(ring.is_empty());
+        for i in 0..11u64 {
+            ring.emit(&Record {
+                at_micros: i,
+                level: Level::Debug,
+                target: "t",
+                name: "e",
+                fields: &[("i", FieldValue::U64(i))],
+            });
+        }
+        // Capacity exceeded almost 3× over: only the newest 4 survive,
+        // oldest first.
+        assert_eq!(ring.len(), 4);
+        let got: Vec<u64> = ring.records().iter().map(|r| r.at_micros).collect();
+        assert_eq!(got, vec![7, 8, 9, 10]);
+        let fields: Vec<String> = ring
+            .records()
+            .iter()
+            .map(|r| r.fields[0].1.clone())
+            .collect();
+        assert_eq!(fields, vec!["7", "8", "9", "10"]);
+    }
+
+    #[test]
+    fn ring_sink_zero_capacity_clamps_to_one() {
+        let ring = RingSink::new(0);
+        for i in 0..3u64 {
+            ring.emit(&Record {
+                at_micros: i,
+                level: Level::Info,
+                target: "t",
+                name: "e",
+                fields: &[],
+            });
+        }
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.records()[0].at_micros, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_escapes_newlines_in_string_fields() {
+        let dir = std::env::temp_dir().join("bt-obs-test-jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events-nl-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Record {
+            at_micros: 9,
+            level: Level::Info,
+            target: "t",
+            name: "e",
+            fields: &[("msg", FieldValue::Str("line1\nline2\t\"q\""))],
+        });
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        // Exactly one physical line despite the embedded newline.
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"msg\":\"line1\\nline2\\t\\\"q\\\"\""));
+    }
+
+    #[test]
     fn jsonl_sink_writes_parseable_lines() {
         let dir = std::env::temp_dir().join("bt-obs-test-jsonl");
         std::fs::create_dir_all(&dir).unwrap();

@@ -99,14 +99,20 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// Escape a Prometheus label *value*: backslash, double quote and
+/// newline must be backslash-escaped per the text exposition format.
+fn prom_label_value(label: &str) -> String {
+    label
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn prom_label(label: &str) -> String {
     if label.is_empty() {
         String::new()
     } else {
-        format!(
-            "{{label=\"{}\"}}",
-            label.replace('\\', "\\\\").replace('"', "\\\"")
-        )
+        format!("{{label=\"{}\"}}", prom_label_value(label))
     }
 }
 
@@ -115,10 +121,7 @@ fn prom_histogram(out: &mut String, name: &str, label: &str, h: &HistogramSnapsh
     let label_prefix = if label.is_empty() {
         String::new()
     } else {
-        format!(
-            "label=\"{}\",",
-            label.replace('\\', "\\\\").replace('"', "\\\"")
-        )
+        format!("label=\"{}\",", prom_label_value(label))
     };
     let mut cumulative = 0u64;
     for (le, c) in &h.buckets {
@@ -264,5 +267,44 @@ mod tests {
         let mut s = String::new();
         escape_json_into(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn jsonl_escapes_label_values_with_quotes_and_newlines() {
+        let reg = Registry::new(TimeSource::manual());
+        reg.counter_with("evil", "we\"ird\nlabel\ttab").add(1);
+        let line = reg.snapshot().to_jsonl_line();
+        // The raw control characters must not survive into the output.
+        assert!(!line.contains('\n'));
+        assert!(!line.contains('\t'));
+        assert!(line.contains("\"evil{we\\\"ird\\nlabel\\ttab}\":1"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let reg = Registry::new(TimeSource::manual());
+        reg.counter_with("evil_total", "a\"b\\c\nd").add(2);
+        let h = reg.histogram_with("evil_us", "a\"b\\c\nd", buckets::LATENCY_US);
+        h.observe(5);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(!text.contains("c\nd"), "raw newline leaked: {text:?}");
+        assert!(text.contains("evil_total{label=\"a\\\"b\\\\c\\nd\"} 2"));
+        assert!(text.contains("evil_us_bucket{label=\"a\\\"b\\\\c\\nd\",le=\"10\"} 1"));
+    }
+
+    #[test]
+    fn empty_histogram_serializes_without_quantiles() {
+        let reg = Registry::new(TimeSource::manual());
+        reg.histogram("idle_us", buckets::LATENCY_US);
+        let snap = reg.snapshot();
+        let line = snap.to_jsonl_line();
+        assert!(line.contains(
+            "\"idle_us\":{\"count\":0,\"sum\":0,\"p50\":0,\"p95\":0,\"p99\":0,\
+             \"buckets\":[],\"overflow\":0}"
+        ));
+        let text = to_prometheus(&snap);
+        assert!(text.contains("idle_us_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("idle_us_sum 0"));
+        assert!(text.contains("idle_us_count 0"));
     }
 }

@@ -7,6 +7,11 @@
 //!   clone; a hot-path increment is one relaxed atomic op. Snapshots
 //!   ([`Snapshot`]) are sorted by `(name, label)` so that under a
 //!   virtual clock the serialized form is byte-identical run to run.
+//! * a **span tracer / self-profiler** ([`Profiler`]): RAII
+//!   [`span!`]-guards record nested enter/exit timings into a
+//!   per-thread span arena, aggregated into flat and call-tree
+//!   profiles ([`Profile`]) with total/self time, call counts and
+//!   deterministic p50/p95/p99 per span.
 //! * a **structured event log**: leveled typed records emitted through
 //!   the [`obs_debug!`], [`obs_info!`] and [`obs_warn!`] macros to a
 //!   pluggable [`EventSink`] — stderr text, a JSONL file, or an
@@ -36,6 +41,7 @@
 pub mod event;
 pub mod export;
 pub mod registry;
+pub mod span;
 pub mod time;
 
 pub use event::{
@@ -43,6 +49,7 @@ pub use event::{
 };
 pub use export::{summary_text, to_prometheus};
 pub use registry::{buckets, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use span::{Profile, Profiler, SpanGuard, SpanStat};
 pub use time::TimeSource;
 
 /// Emit a structured event at an explicit [`Level`].

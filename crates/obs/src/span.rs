@@ -1,0 +1,659 @@
+//! Hierarchical span tracing and a self-profiler.
+//!
+//! A [`Profiler`] hands out RAII [`SpanGuard`]s (usually via the
+//! [`span!`](crate::span) macro). Guards push enter/exit records onto a
+//! per-thread span stack, so nesting is recovered from runtime call
+//! structure without any global registration. When the outermost span
+//! on a thread closes, the thread's locally aggregated stats are
+//! flushed into the profiler's shared call-tree table.
+//!
+//! The aggregate — a [`Profile`] — keys stats by the full span *path*
+//! (e.g. `sim.event / core.handle.message / core.piece_pick`) and
+//! records call count, total time, self time (total minus time spent in
+//! child spans) and a fixed-bucket duration histogram from which
+//! deterministic integer p50/p95/p99 are derived. It can be rendered as
+//! a pretty call-tree report, a flat per-name table, or deterministic
+//! JSON.
+//!
+//! Like the metrics [`Registry`](crate::Registry), a profiler reads
+//! time from a [`TimeSource`]: under a driver with a virtual clock
+//! (`bt-sim`) every duration is derived from simulated time, so the
+//! serialized profile is byte-identical run to run and independent of
+//! host load or worker count; under a wall clock (`bt-net`,
+//! microbenches) it measures real elapsed time.
+//!
+//! Disabled profilers ([`Profiler::disabled`]) make `span()` a single
+//! branch, so instrumented hot paths cost nothing when profiling is
+//! off.
+//!
+//! # Example
+//!
+//! ```
+//! use bt_obs::{span, Profiler, TimeSource};
+//!
+//! let prof = Profiler::new(TimeSource::manual());
+//! let clock = prof.time().unwrap().clone();
+//! {
+//!     span!(prof, "outer");
+//!     clock.advance_to(100);
+//!     {
+//!         span!(prof, "inner");
+//!         clock.advance_to(130);
+//!     }
+//!     clock.advance_to(135);
+//! }
+//! let profile = prof.snapshot();
+//! let outer = profile.get(&["outer"]).unwrap();
+//! assert_eq!((outer.total_us, outer.self_us), (135, 105));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::registry::buckets;
+use crate::time::TimeSource;
+
+/// Duration histogram bounds (µs), shared with the metrics registry so
+/// span quantiles line up with `*_us` histogram quantiles.
+const DUR_BOUNDS: &[u64] = buckets::LATENCY_US;
+
+/// Bucket slots: one per finite bound plus an overflow slot.
+const DUR_SLOTS: usize = DUR_BOUNDS.len() + 1;
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total elapsed microseconds across all completions.
+    pub total_us: u64,
+    /// Elapsed microseconds not attributed to child spans.
+    pub self_us: u64,
+    /// Duration histogram over [`buckets::LATENCY_US`] plus overflow.
+    pub dur_buckets: [u64; DUR_SLOTS],
+}
+
+impl SpanStat {
+    fn record(&mut self, elapsed_us: u64, self_us: u64) {
+        self.count += 1;
+        self.total_us += elapsed_us;
+        self.self_us += self_us;
+        let idx = DUR_BOUNDS
+            .iter()
+            .position(|&b| elapsed_us <= b)
+            .unwrap_or(DUR_BOUNDS.len());
+        self.dur_buckets[idx] += 1;
+    }
+
+    fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.self_us += other.self_us;
+        for (a, b) in self.dur_buckets.iter_mut().zip(other.dur_buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Deterministic integer quantile: the upper bound of the duration
+    /// bucket holding the rank-`q` sample (overflow clamps to the
+    /// largest finite bound), 0 when empty. Same convention as
+    /// [`HistogramSnapshot`](crate::HistogramSnapshot).
+    pub fn quantile(&self, q_num: u64, q_den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * q_num).div_ceil(q_den).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.dur_buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return DUR_BOUNDS
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| *DUR_BOUNDS.last().unwrap());
+            }
+        }
+        *DUR_BOUNDS.last().unwrap()
+    }
+
+    /// Median duration (bucket upper bound), µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// 95th-percentile duration (bucket upper bound), µs.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile(95, 100)
+    }
+
+    /// 99th-percentile duration (bucket upper bound), µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+}
+
+/// Span path: the names of every open ancestor plus the span itself.
+type Path = Vec<&'static str>;
+
+#[derive(Debug)]
+struct ProfInner {
+    /// Distinguishes this profiler's frames in the per-thread arenas.
+    id: u64,
+    time: TimeSource,
+    stats: Mutex<BTreeMap<Path, SpanStat>>,
+}
+
+/// One open span on a thread's stack (its name lives in `Arena::path`).
+struct Frame {
+    start_us: u64,
+    /// Total microseconds spent in already-closed direct children.
+    child_us: u64,
+}
+
+/// Per-thread, per-profiler span state: the open-span stack and stats
+/// accumulated since the last flush (flushed whenever the stack
+/// empties, i.e. at every root-span exit).
+struct Arena {
+    prof_id: u64,
+    stack: Vec<Frame>,
+    path: Path,
+    pending: HashMap<Path, SpanStat>,
+}
+
+thread_local! {
+    static ARENAS: RefCell<Vec<Arena>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_PROFILER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Records hierarchical span timings; see the [module docs](self).
+/// Cloning is cheap and all clones feed the same profile.
+#[derive(Clone, Debug)]
+pub struct Profiler {
+    inner: Option<Arc<ProfInner>>,
+}
+
+impl Profiler {
+    /// A new enabled profiler reading durations from `time`.
+    pub fn new(time: TimeSource) -> Profiler {
+        Profiler {
+            inner: Some(Arc::new(ProfInner {
+                id: NEXT_PROFILER_ID.fetch_add(1, Ordering::Relaxed),
+                time,
+                stats: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// A permanently disabled profiler: `span()` is a single branch and
+    /// records nothing. The default for instrumented components.
+    pub fn disabled() -> Profiler {
+        Profiler { inner: None }
+    }
+
+    /// True when spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The profiler's clock, or `None` when disabled. Virtual-clock
+    /// drivers advance this in lock-step with their event time.
+    pub fn time(&self) -> Option<&TimeSource> {
+        self.inner.as_ref().map(|i| &i.time)
+    }
+
+    /// Open a span named `name`, closed when the returned guard drops.
+    /// Guards must drop in LIFO order (natural scoping guarantees it).
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { inner: None };
+        };
+        let start = inner.time.now_micros();
+        ARENAS.with(|cell| {
+            let mut arenas = cell.borrow_mut();
+            let arena = match arenas.iter_mut().position(|a| a.prof_id == inner.id) {
+                Some(i) => &mut arenas[i],
+                None => {
+                    arenas.push(Arena {
+                        prof_id: inner.id,
+                        stack: Vec::with_capacity(8),
+                        path: Vec::with_capacity(8),
+                        pending: HashMap::new(),
+                    });
+                    arenas.last_mut().unwrap()
+                }
+            };
+            arena.stack.push(Frame {
+                start_us: start,
+                child_us: 0,
+            });
+            arena.path.push(name);
+        });
+        SpanGuard {
+            inner: Some(inner.clone()),
+        }
+    }
+
+    /// Point-in-time aggregate of every span completed so far. Stats of
+    /// spans still open (and of thread-local batches whose root span
+    /// has not yet closed) are not included, so take snapshots after
+    /// the instrumented work finishes for exact totals.
+    pub fn snapshot(&self) -> Profile {
+        match &self.inner {
+            Some(inner) => Profile {
+                spans: inner.stats.lock().unwrap().clone(),
+            },
+            None => Profile::default(),
+        }
+    }
+}
+
+/// RAII guard for one open span; closing (dropping) records the span's
+/// elapsed time into its profiler. Created by [`Profiler::span`].
+#[must_use = "a span guard records on drop; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    inner: Option<Arc<ProfInner>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let end = inner.time.now_micros();
+        ARENAS.with(|cell| {
+            let mut arenas = cell.borrow_mut();
+            let Some(arena) = arenas.iter_mut().find(|a| a.prof_id == inner.id) else {
+                debug_assert!(false, "span guard dropped on a thread that never opened it");
+                return;
+            };
+            let Some(frame) = arena.stack.pop() else {
+                debug_assert!(false, "span stack underflow");
+                return;
+            };
+            let elapsed = end.saturating_sub(frame.start_us);
+            let self_us = elapsed.saturating_sub(frame.child_us);
+            arena
+                .pending
+                .entry(arena.path.clone())
+                .or_default()
+                .record(elapsed, self_us);
+            arena.path.pop();
+            match arena.stack.last_mut() {
+                Some(parent) => parent.child_us += elapsed,
+                None => {
+                    // Root span closed: flush this thread's batch.
+                    let mut shared = inner.stats.lock().unwrap();
+                    for (path, stat) in arena.pending.drain() {
+                        shared.entry(path).or_default().merge(&stat);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// An aggregated call-tree profile; see the [module docs](self).
+///
+/// Keys are full span paths, so the same leaf name reached through
+/// different parents stays separate in the tree view and is summed in
+/// the [`flat`](Profile::flat) view.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-path stats, sorted by path (preorder DFS of the call tree).
+    pub spans: BTreeMap<Path, SpanStat>,
+}
+
+impl Profile {
+    /// True when no spans completed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Stats for an exact path, if present.
+    pub fn get(&self, path: &[&'static str]) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// Fold `other` into `self` (commutative sums, so merging
+    /// per-scenario profiles in a fixed order is deterministic).
+    pub fn merge(&mut self, other: &Profile) {
+        for (path, stat) in &other.spans {
+            self.spans.entry(path.clone()).or_default().merge(stat);
+        }
+    }
+
+    /// Flat per-name aggregate (summed over every path sharing a leaf
+    /// name), sorted by name.
+    pub fn flat(&self) -> Vec<(&'static str, SpanStat)> {
+        let mut by_name: BTreeMap<&'static str, SpanStat> = BTreeMap::new();
+        for (path, stat) in &self.spans {
+            if let Some(leaf) = path.last() {
+                by_name.entry(leaf).or_default().merge(stat);
+            }
+        }
+        by_name.into_iter().collect()
+    }
+
+    /// The `n` span names with the most self time, descending (ties
+    /// break by name so the order is deterministic).
+    pub fn top_self(&self, n: usize) -> Vec<(&'static str, SpanStat)> {
+        let mut flat = self.flat();
+        flat.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
+        flat.truncate(n);
+        flat
+    }
+
+    /// Deterministic JSON: span entries in path order, then the flat
+    /// per-name table. Durations are µs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"spans\":[");
+        for (i, (path, stat)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":\"");
+            crate::export::escape_json_into(&mut out, &path.join("/"));
+            out.push_str("\",\"depth\":");
+            out.push_str(&(path.len().saturating_sub(1)).to_string());
+            push_stat_fields(&mut out, stat);
+            out.push('}');
+        }
+        out.push_str("],\"flat\":[");
+        for (i, (name, stat)) in self.flat().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            crate::export::escape_json_into(&mut out, name);
+            out.push('"');
+            push_stat_fields(&mut out, stat);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable report: the call tree (indented by depth) then
+    /// the top self-time spans.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("profile: no spans recorded\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "{:>12} {:>12} {:>9} {:>9} {:>9} {:>9}  span\n",
+            "total_us", "self_us", "count", "p50_us", "p95_us", "p99_us"
+        ));
+        for (path, stat) in &self.spans {
+            let indent = "  ".repeat(path.len().saturating_sub(1));
+            out.push_str(&format!(
+                "{:>12} {:>12} {:>9} {:>9} {:>9} {:>9}  {}{}\n",
+                stat.total_us,
+                stat.self_us,
+                stat.count,
+                stat.p50_us(),
+                stat.p95_us(),
+                stat.p99_us(),
+                indent,
+                path.last().copied().unwrap_or("?"),
+            ));
+        }
+        out.push_str("\ntop self-time:\n");
+        for (name, stat) in self.top_self(10) {
+            out.push_str(&format!(
+                "{:>12} {:>9}  {}\n",
+                stat.self_us, stat.count, name
+            ));
+        }
+        out
+    }
+}
+
+fn push_stat_fields(out: &mut String, stat: &SpanStat) {
+    out.push_str(&format!(
+        ",\"count\":{},\"total_us\":{},\"self_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"buckets\":[",
+        stat.count,
+        stat.total_us,
+        stat.self_us,
+        stat.p50_us(),
+        stat.p95_us(),
+        stat.p99_us()
+    ));
+    let mut first = true;
+    for (i, &c) in stat.dur_buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match DUR_BOUNDS.get(i) {
+            Some(b) => out.push_str(&format!("[{b},{c}]")),
+            None => out.push_str(&format!("[\"inf\",{c}]")),
+        }
+    }
+    out.push(']');
+}
+
+/// Open a span on a [`Profiler`](crate::Profiler) for the rest of the
+/// enclosing scope:
+///
+/// ```
+/// use bt_obs::{span, Profiler, TimeSource};
+/// let prof = Profiler::new(TimeSource::manual());
+/// {
+///     span!(prof, "core.piece_pick");
+///     // ... work ...
+/// }
+/// assert_eq!(prof.snapshot().get(&["core.piece_pick"]).unwrap().count, 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($prof:expr, $name:expr) => {
+        let _span_guard = $prof.span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual_prof() -> Profiler {
+        Profiler::new(TimeSource::manual())
+    }
+
+    #[test]
+    fn nesting_attributes_self_and_total_time() {
+        let prof = manual_prof();
+        let t = prof.time().unwrap().clone();
+        {
+            span!(prof, "a");
+            t.advance_to(100);
+            {
+                span!(prof, "b");
+                t.advance_to(130);
+            }
+            t.advance_to(135);
+        }
+        let p = prof.snapshot();
+        let a = p.get(&["a"]).unwrap();
+        assert_eq!((a.count, a.total_us, a.self_us), (1, 135, 105));
+        let b = p.get(&["a", "b"]).unwrap();
+        assert_eq!((b.count, b.total_us, b.self_us), (1, 30, 30));
+    }
+
+    #[test]
+    fn sibling_children_sum_into_parent_child_time() {
+        let prof = manual_prof();
+        let t = prof.time().unwrap().clone();
+        {
+            span!(prof, "root");
+            for i in 1..=3u64 {
+                span!(prof, "leaf");
+                t.advance_to(i * 10);
+            }
+        }
+        let p = prof.snapshot();
+        let root = p.get(&["root"]).unwrap();
+        // leaves cover [0,10],[10,20],[20,30] → all 30 µs are child time.
+        assert_eq!((root.total_us, root.self_us), (30, 0));
+        let leaf = p.get(&["root", "leaf"]).unwrap();
+        assert_eq!((leaf.count, leaf.total_us), (3, 30));
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let prof = Profiler::disabled();
+        assert!(!prof.is_enabled());
+        {
+            span!(prof, "x");
+        }
+        assert!(prof.snapshot().is_empty());
+        assert_eq!(prof.snapshot().to_json(), "{\"spans\":[],\"flat\":[]}");
+    }
+
+    #[test]
+    fn same_leaf_under_different_parents_stays_split_in_tree() {
+        let prof = manual_prof();
+        let t = prof.time().unwrap().clone();
+        {
+            span!(prof, "p1");
+            {
+                span!(prof, "work");
+                t.advance_to(10);
+            }
+        }
+        {
+            span!(prof, "p2");
+            {
+                span!(prof, "work");
+                t.advance_to(25);
+            }
+        }
+        let p = prof.snapshot();
+        assert_eq!(p.get(&["p1", "work"]).unwrap().total_us, 10);
+        assert_eq!(p.get(&["p2", "work"]).unwrap().total_us, 15);
+        let flat: BTreeMap<_, _> = p.flat().into_iter().collect();
+        assert_eq!(flat["work"].total_us, 25);
+        assert_eq!(flat["work"].count, 2);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_recomputes_quantiles() {
+        let mk = |n_fast: u64, n_slow: u64| {
+            let prof = manual_prof();
+            let t = prof.time().unwrap().clone();
+            let mut now = 0;
+            for _ in 0..n_fast {
+                span!(prof, "op");
+                now += 5;
+                t.advance_to(now);
+            }
+            for _ in 0..n_slow {
+                span!(prof, "op");
+                now += 50_000;
+                t.advance_to(now);
+            }
+            prof.snapshot()
+        };
+        let a = mk(90, 0);
+        let b = mk(0, 10);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let op = ab.get(&["op"]).unwrap();
+        assert_eq!(op.count, 100);
+        assert_eq!(op.p50_us(), 10);
+        assert_eq!(op.p95_us(), 100_000);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let prof = manual_prof();
+        let t = prof.time().unwrap().clone();
+        {
+            span!(prof, "outer");
+            {
+                span!(prof, "inner");
+                t.advance_to(7);
+            }
+        }
+        let p = prof.snapshot();
+        assert_eq!(p.to_json(), p.to_json());
+        assert!(p.to_json().contains("\"path\":\"outer/inner\""));
+        assert!(p.to_json().contains("\"depth\":1"));
+        assert!(p.to_json().contains("\"flat\":["));
+    }
+
+    #[test]
+    fn spans_from_multiple_threads_aggregate() {
+        let prof = manual_prof();
+        let t = prof.time().unwrap().clone();
+        t.advance_to(3);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let prof = prof.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        span!(prof, "worker");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let p = prof.snapshot();
+        assert_eq!(p.get(&["worker"]).unwrap().count, 40);
+    }
+
+    #[test]
+    fn two_profilers_on_one_thread_stay_independent() {
+        let pa = manual_prof();
+        let pb = manual_prof();
+        {
+            span!(pa, "a");
+            span!(pb, "b");
+        }
+        assert!(pa.snapshot().get(&["a"]).is_some());
+        assert!(pa.snapshot().get(&["b"]).is_none());
+        assert!(pb.snapshot().get(&["b"]).is_some());
+    }
+
+    #[test]
+    fn top_self_orders_descending_with_name_tiebreak() {
+        let prof = manual_prof();
+        let t = prof.time().unwrap().clone();
+        {
+            span!(prof, "cheap");
+            t.advance_to(1);
+        }
+        {
+            span!(prof, "dear");
+            t.advance_to(101);
+        }
+        let top = prof.snapshot().top_self(10);
+        assert_eq!(top[0].0, "dear");
+        assert_eq!(top[1].0, "cheap");
+        let report = prof.snapshot().render();
+        assert!(report.contains("top self-time:"));
+        assert!(report.contains("dear"));
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholder() {
+        let p = Profile::default();
+        assert!(p.render().contains("no spans recorded"));
+        assert!(p.top_self(3).is_empty());
+    }
+}

@@ -167,6 +167,9 @@ pub struct SwarmResult {
     /// Deterministic metrics snapshots, one per sampling period plus a
     /// final one, when [`Swarm::with_metrics`] attached a registry.
     pub metrics: Vec<bt_obs::Snapshot>,
+    /// Aggregated span profile, when [`Swarm::with_profiler`] attached
+    /// an enabled profiler.
+    pub profile: Option<bt_obs::Profile>,
 }
 
 enum Ev {
@@ -231,6 +234,7 @@ pub struct Swarm {
     uses_global_picker: bool,
     metrics: Option<SimMetrics>,
     metric_snapshots: Vec<bt_obs::Snapshot>,
+    profiler: bt_obs::Profiler,
 }
 
 impl Swarm {
@@ -368,6 +372,7 @@ impl Swarm {
             uses_global_picker,
             metrics: None,
             metric_snapshots: Vec::new(),
+            profiler: bt_obs::Profiler::disabled(),
         }
     }
 
@@ -390,6 +395,25 @@ impl Swarm {
                 .schedule(Instant(self.spec.sample_every.0), Ev::Sample);
         }
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a span profiler: the swarm records `sim.*` spans around
+    /// event-queue pops and dispatch, every engine records
+    /// `core.handle.*` / `core.choke_round` / `core.piece_pick` spans
+    /// nested inside them, and [`SwarmResult::profile`] carries the
+    /// aggregated [`bt_obs::Profile`]. Pass a manual-clock profiler
+    /// ([`bt_obs::TimeSource::manual`]) for deterministic profiles —
+    /// the swarm keeps its clock in step with virtual time, so span
+    /// durations are 0 µs (the clock never moves *inside* an event) but
+    /// the call tree and counts are byte-identical run to run. A
+    /// wall-clock profiler measures real time instead.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: bt_obs::Profiler) -> Swarm {
+        for p in &mut self.peers {
+            p.engine.set_profiler(profiler.clone());
+        }
+        self.profiler = profiler;
         self
     }
 
@@ -454,18 +478,28 @@ impl Swarm {
             if next > end {
                 break;
             }
-            let (now, ev) = self.queue.pop().expect("peeked");
+            let (now, ev) = {
+                let _span_guard = self.profiler.span("sim.event_pop");
+                self.queue.pop().expect("peeked")
+            };
             self.events_processed += 1;
             if let Some(m) = &self.metrics {
                 m.registry().time().advance_to(now.0);
                 m.events.inc();
             }
+            if let Some(t) = self.profiler.time() {
+                t.advance_to(now.0);
+            }
+            let _span_guard = self.profiler.span("sim.event");
             self.handle(now, ev);
         }
         self.finish(end)
     }
 
     fn finish(mut self, end: Instant) -> SwarmResult {
+        if let Some(t) = self.profiler.time() {
+            t.advance_to(end.0);
+        }
         if self.metrics.is_some() {
             if let Some(m) = &self.metrics {
                 m.registry().time().advance_to(end.0);
@@ -493,6 +527,7 @@ impl Swarm {
             tracker_completed: self.tracker.completed,
             global_series: self.global_series,
             metrics: self.metric_snapshots,
+            profile: self.profiler.is_enabled().then(|| self.profiler.snapshot()),
         }
     }
 
@@ -688,6 +723,7 @@ impl Swarm {
         if let Some(m) = &self.metrics {
             p.engine.set_metrics(m.engine.clone());
         }
+        p.engine.set_profiler(self.profiler.clone());
         p.was_seed = p.engine.is_seed();
         p.engine.handle(now, Input::Start);
         if let Some(at) = pending {
@@ -1325,6 +1361,44 @@ mod tests {
             .histogram("core.choke_round_us", "")
             .expect("histogram");
         assert!(hist.count > 0);
+    }
+
+    #[test]
+    fn profiling_is_deterministic_and_does_not_perturb_the_run() {
+        let run = |with_profiler: bool| {
+            let swarm = Swarm::new(tiny_spec(7));
+            if with_profiler {
+                swarm
+                    .with_profiler(bt_obs::Profiler::new(bt_obs::TimeSource::manual()))
+                    .run()
+            } else {
+                swarm.run()
+            }
+        };
+        let a = run(true);
+        let b = run(true);
+        let bare = run(false);
+        // Same spec + same seed ⇒ byte-identical profile JSON.
+        let pa = a.profile.as_ref().expect("profile attached");
+        let pb = b.profile.as_ref().expect("profile attached");
+        assert_eq!(pa.to_json(), pb.to_json());
+        // Attaching a profiler must not change what the engines do.
+        assert!(bare.profile.is_none());
+        assert_eq!(a.completion, bare.completion);
+        assert_eq!(a.events_processed, bare.events_processed);
+        assert_eq!(a.trace.unwrap().events, bare.trace.unwrap().events);
+        // The instrumented hot paths all recorded, with engine spans
+        // nested under the sim dispatch span.
+        assert_eq!(
+            pa.get(&["sim.event_pop"]).expect("pop span").count,
+            a.events_processed
+        );
+        assert!(pa.get(&["sim.event", "core.handle.message"]).is_some());
+        assert!(pa
+            .get(&["sim.event", "core.handle.tick", "core.choke_round"])
+            .is_some());
+        let flat: std::collections::BTreeMap<_, _> = pa.flat().into_iter().collect();
+        assert!(flat["core.piece_pick"].count > 0);
     }
 
     #[test]

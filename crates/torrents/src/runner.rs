@@ -56,6 +56,11 @@ pub struct RunConfig {
     /// deterministic snapshots land in
     /// [`SwarmResult::metrics`](bt_sim::swarm::SwarmResult::metrics).
     pub metrics: bool,
+    /// Attach a manual-clock span [`bt_obs::Profiler`] to every swarm;
+    /// the deterministic call-tree profile lands in
+    /// [`ScenarioOutcome::profile`]. Spans never touch engine RNG or
+    /// traces, so profiled runs stay byte-identical to bare ones.
+    pub profile: bool,
 }
 
 impl Default for RunConfig {
@@ -74,6 +79,7 @@ impl Default for RunConfig {
             base_config: Config::default(),
             real_data: false,
             metrics: false,
+            profile: false,
         }
     }
 }
@@ -121,6 +127,11 @@ pub struct ScenarioOutcome {
     pub trace: Trace,
     /// Swarm-level results (completions, tracker stats).
     pub result: SwarmResult,
+    /// Deterministic span profile, when [`RunConfig::profile`] was set.
+    /// Per-scenario profiles merge commutatively
+    /// ([`bt_obs::Profile::merge`]), so a sweep can aggregate them in
+    /// spec order regardless of which worker ran what.
+    pub profile: Option<bt_obs::Profile>,
 }
 
 /// Scale a Table I row under `cfg`.
@@ -287,8 +298,12 @@ pub fn run_scenario(spec: &ScenarioSpec, cfg: &RunConfig) -> ScenarioOutcome {
     if cfg.metrics {
         swarm = swarm.with_metrics(bt_obs::Registry::new_manual());
     }
+    if cfg.profile {
+        swarm = swarm.with_profiler(bt_obs::Profiler::new(bt_obs::TimeSource::manual()));
+    }
     // Label the trace with the Table I identity.
-    let result = swarm.run();
+    let mut result = swarm.run();
+    let profile = result.profile.take();
     let mut trace = result.trace.as_ref().expect("local peer recorded").clone();
     trace.meta.torrent = spec.label();
     trace.meta.torrent_id = spec.id;
@@ -297,6 +312,7 @@ pub fn run_scenario(spec: &ScenarioSpec, cfg: &RunConfig) -> ScenarioOutcome {
         scaled,
         trace,
         result,
+        profile,
     }
 }
 
@@ -488,6 +504,25 @@ mod tests {
         let a = run_scenario(&torrent(2), &cfg);
         let b = run_scenario(&torrent(2), &cfg);
         assert_eq!(a.trace.events, b.trace.events);
+    }
+
+    #[test]
+    fn profiled_scenario_matches_bare_run_and_carries_profile() {
+        let cfg = RunConfig::quick();
+        let bare = run_scenario(&torrent(2), &cfg);
+        assert!(bare.profile.is_none());
+        let profiled_cfg = RunConfig {
+            profile: true,
+            ..RunConfig::quick()
+        };
+        let profiled = run_scenario(&torrent(2), &profiled_cfg);
+        let profile = profiled.profile.as_ref().expect("profile requested");
+        assert_eq!(
+            bare.trace.events, profiled.trace.events,
+            "span recording must not perturb the simulation"
+        );
+        let pops = profile.get(&["sim.event_pop"]).expect("root span present");
+        assert_eq!(pops.count, profiled.result.events_processed);
     }
 
     #[test]
