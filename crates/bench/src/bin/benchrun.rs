@@ -4,16 +4,21 @@
 //! benchrun [--quick] [--out FILE] [--compare baseline.json]
 //! ```
 //!
-//! Runs four workloads and writes one machine-readable JSON report
-//! (default `BENCH_PR5.json`, for the repo's perf trajectory):
+//! Runs five workloads and writes one machine-readable JSON report
+//! (default `BENCH_PR6.json`, for the repo's perf trajectory):
 //!
 //! 1. **Simulator throughput** — the Table I sweep at seed 42 on 1 and
 //!    8 workers (`--quick`: a 3-torrent subset), reported as events/sec;
-//! 2. **Transport throughput** — a loopback `--net` swarm over real
+//! 2. **Mega-swarm throughput** — the `flash_crowd_10k` scenario
+//!    (`--quick`: 2k peers), reported as events/sec — the headline the
+//!    bucketed availability index, calendar event queue, partitioned
+//!    tracker, and pooled round state exist for;
+//! 3. **Transport throughput** — a loopback `--net` swarm over real
 //!    TCP, reported as framed bytes/sec;
-//! 3. **Microbenches** — wire encode/decode and the rarest-first pick,
-//!    run through the criterion shim's collection mode;
-//! 4. **Self-profile** — a wall-profiled simulator run; the top-10
+//! 4. **Microbenches** — wire encode/decode and the rarest-first pick
+//!    at 1 400 and 100 000 pieces, run through the criterion shim's
+//!    collection mode;
+//! 5. **Self-profile** — a wall-profiled simulator run; the top-10
 //!    self-time spans identify where the engine actually spends time.
 //!
 //! `--compare FILE` re-reads a previous report and exits non-zero if
@@ -70,7 +75,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let compare = flag_str("--compare");
 
     let report = run_suite(quick);
@@ -110,7 +115,7 @@ fn run_suite(quick: bool) -> Value {
     let mut sim_eps = [0.0f64; 2];
     for (slot, jobs) in [1usize, 8].into_iter().enumerate() {
         eprintln!(
-            "[1/4] table I sweep: {} torrents, {jobs} job(s) ...",
+            "[1/5] table I sweep: {} torrents, {jobs} job(s) ...",
             specs.len()
         );
         let t0 = std::time::Instant::now();
@@ -129,8 +134,26 @@ fn run_suite(quick: bool) -> Value {
         ));
     }
 
-    // 2. Loopback TCP throughput.
-    eprintln!("[2/4] loopback net swarm ...");
+    // 2. Mega-swarm throughput: one uninstrumented flash crowd at the
+    // 10k-peer scale (2k under --quick), the workload the O(1) rarest
+    // index, calendar queue, and pooled round state are sized for.
+    let mega_peers = if quick { 2_000 } else { 10_000 };
+    eprintln!("[2/5] mega flash crowd: {mega_peers} peers ...");
+    let mega_opts = bt_torrents::PresetOptions {
+        seed: cfg.seed,
+        pieces: 8,
+        duration: bt_wire::time::Duration::from_secs(900),
+        ..Default::default()
+    };
+    let mega_spec = bt_torrents::scenarios::mega_flash_crowd(mega_peers, &mega_opts);
+    let t0 = std::time::Instant::now();
+    let mega = Swarm::new(mega_spec).run();
+    let mega_wall = t0.elapsed().as_secs_f64();
+    let mega_eps = mega.events_processed as f64 / mega_wall.max(1e-9);
+    let mega_digest = format!("{:016x}", mega.digest());
+
+    // 3. Loopback TCP throughput.
+    eprintln!("[3/5] loopback net swarm ...");
     let pieces: u64 = if quick { 32 } else { 128 };
     let net_spec = bt_net::LoopbackSpec {
         seeds: 1,
@@ -148,8 +171,8 @@ fn run_suite(quick: bool) -> Value {
     let net_wall = net.wall_elapsed.as_secs_f64();
     let net_bps = net_bytes as f64 / net_wall.max(1e-9);
 
-    // 3. Microbenches through the collecting criterion driver.
-    eprintln!("[3/4] microbenches ...");
+    // 4. Microbenches through the collecting criterion driver.
+    eprintln!("[4/5] microbenches ...");
     let micro = micro_benches(quick);
     let micro_rate = |group: &str, name: &str| {
         micro
@@ -163,8 +186,8 @@ fn run_suite(quick: bool) -> Value {
             .unwrap_or(0.0)
     };
 
-    // 4. Wall-profiled simulator run: where does the time actually go?
-    eprintln!("[4/4] wall-profiled simulator run ...");
+    // 5. Wall-profiled simulator run: where does the time actually go?
+    eprintln!("[5/5] wall-profiled simulator run ...");
     let (swarm_spec, _) = build_swarm_spec(&torrent(3), &cfg);
     let profiler = Profiler::new(TimeSource::wall());
     let result = Swarm::new(swarm_spec).with_profiler(profiler).run();
@@ -185,6 +208,7 @@ fn run_suite(quick: bool) -> Value {
     let headlines = obj(vec![
         ("sim_events_per_sec_jobs1", Value::Float(sim_eps[0])),
         ("sim_events_per_sec_jobs8", Value::Float(sim_eps[1])),
+        ("sim_events_per_sec_10k_peers", Value::Float(mega_eps)),
         ("net_bytes_per_sec", Value::Float(net_bps)),
         (
             "wire_encode_bytes_per_sec",
@@ -197,6 +221,10 @@ fn run_suite(quick: bool) -> Value {
         (
             "piece_picks_per_sec",
             Value::Float(micro_rate("piece", "rarest_pick_1400")),
+        ),
+        (
+            "rarest_pick_100k",
+            Value::Float(micro_rate("piece", "rarest_pick_100k")),
         ),
     ]);
     println!("headlines:");
@@ -217,6 +245,19 @@ fn run_suite(quick: bool) -> Value {
                 (
                     "sim",
                     Value::Object(sim.into_iter().collect::<BTreeMap<_, _>>()),
+                ),
+                (
+                    "mega",
+                    obj(vec![
+                        ("peers", Value::PosInt(mega_peers as u64)),
+                        ("wall_secs", Value::Float(mega_wall)),
+                        ("events", Value::PosInt(mega.events_processed)),
+                        (
+                            "completed_peers",
+                            Value::PosInt(mega.completed_peers as u64),
+                        ),
+                        ("digest", Value::Str(mega_digest)),
+                    ]),
                 ),
                 (
                     "net",
@@ -310,6 +351,40 @@ fn micro_benches(quick: bool) -> Vec<BenchResult> {
                 availability: &availability,
                 in_progress: &never,
                 downloaded_pieces: 100,
+            };
+            black_box(picker.pick(&ctx, &mut pick_rng))
+        })
+    });
+
+    // The mega-swarm pick: 100k pieces, a dense remote, a half-full own
+    // bitfield. With the bucketed index this costs one bucket scan over
+    // the rarest runs, not a 100k-candidate sweep.
+    let pieces = 100_000u32;
+    let mut availability = Availability::new(pieces);
+    for _ in 0..40 {
+        let mut bf = Bitfield::new(pieces);
+        for p in 0..pieces {
+            if rng.random_bool(0.5) {
+                bf.set(p);
+            }
+        }
+        availability.add_peer(&bf);
+    }
+    let mut own = Bitfield::new(pieces);
+    for p in 0..pieces / 2 {
+        own.set(p * 2);
+    }
+    let remote = Bitfield::full(pieces);
+    let mut picker = PickerKind::RarestFirst.build(pieces);
+    group.bench_function("rarest_pick_100k", |b| {
+        b.iter(|| {
+            let never = |_p: u32| false;
+            let ctx = PickContext {
+                own: &own,
+                remote: &remote,
+                availability: &availability,
+                in_progress: &never,
+                downloaded_pieces: 1000,
             };
             black_box(picker.pick(&ctx, &mut pick_rng))
         })

@@ -3,12 +3,20 @@
 //! ```text
 //! swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl]
 //!          [--profile out.json] [--status] [--example]
+//! swarmrun --scenario NAME [--peers N] [--seed N] [--metrics out.jsonl]
+//!          [--profile out.json] [--status]
 //! swarmrun --table1 [--quick] [--seed N] [--jobs N] [--profile out.json]
 //! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N]
 //!          [--trace out.jsonl] [--metrics out.jsonl] [--profile out.json]
 //!          [--metrics-addr 127.0.0.1:PORT] [--status]
 //! ```
 //!
+//! * `--scenario NAME` runs a named preset instead of a spec file:
+//!   `flash_crowd_1k`, `flash_crowd_10k`, `flash_crowd_100k` (the
+//!   mega-swarm flash crowds; `--peers N` overrides the leecher count).
+//!   Every simulator run ends by printing `run digest`, a 64-bit
+//!   fingerprint of the complete deterministic outcome — compare it
+//!   across machines or job counts to check byte-identical replay;
 //! * `--example` prints a complete, runnable spec to stdout and exits;
 //! * `--trace FILE` writes the instrumented peer's trace as JSON lines;
 //! * `--metrics FILE` writes `bt-obs` registry snapshots as JSON lines
@@ -64,6 +72,11 @@ fn main() {
         run_net_swarm(&args);
         return;
     }
+    if let Some(name) = flag_str(&args, "--scenario") {
+        let spec = scenario_spec(&name, &args);
+        run_sim(spec, &args);
+        return;
+    }
     // Flag values double as positional-arg lookalikes; skip them when
     // searching for the spec path.
     let flag_values: Vec<usize> = ["--trace", "--metrics", "--profile"]
@@ -81,11 +94,6 @@ fn main() {
         );
         std::process::exit(2);
     };
-    let trace_out = flag_str(&args, "--trace");
-    let metrics_out = flag_str(&args, "--metrics");
-    let profile_out = flag_str(&args, "--profile");
-    let status = args.iter().any(|a| a == "--status");
-
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("swarmrun: cannot read {path}: {e}");
         std::process::exit(2);
@@ -94,6 +102,53 @@ fn main() {
         eprintln!("swarmrun: invalid spec: {e}");
         std::process::exit(2);
     });
+    run_sim(spec, &args);
+}
+
+/// Build a named preset spec (`--scenario`).
+fn scenario_spec(name: &str, args: &[String]) -> SwarmSpec {
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("swarmrun: {flag} needs an integer");
+                    std::process::exit(2);
+                })
+            })
+    };
+    let default_peers = match name {
+        "flash_crowd_1k" => 1_000,
+        "flash_crowd_10k" => 10_000,
+        "flash_crowd_100k" => 100_000,
+        other => {
+            eprintln!(
+                "swarmrun: unknown scenario {other:?} (expected flash_crowd_1k, \
+                 flash_crowd_10k or flash_crowd_100k)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let peers = flag_value("--peers")
+        .map(|n| n as usize)
+        .unwrap_or(default_peers);
+    let opts = bt_torrents::PresetOptions {
+        seed: flag_value("--seed").unwrap_or(42),
+        pieces: 8,
+        duration: Duration::from_secs(900),
+        ..bt_torrents::PresetOptions::default()
+    };
+    bt_torrents::scenarios::mega_flash_crowd(peers, &opts)
+}
+
+/// Run a simulator spec and print the standard summary (the spec-file
+/// and `--scenario` paths share this).
+fn run_sim(spec: SwarmSpec, args: &[String]) {
+    let trace_out = flag_str(args, "--trace");
+    let metrics_out = flag_str(args, "--metrics");
+    let profile_out = flag_str(args, "--profile");
+    let status = args.iter().any(|a| a == "--status");
     let peers = spec.peers.len();
     let piece_len = spec.piece_len;
     let pieces = spec.total_len.div_ceil(u64::from(spec.piece_len));
@@ -118,7 +173,9 @@ fn main() {
     if profile_out.is_some() {
         swarm = swarm.with_profiler(Profiler::new(TimeSource::manual()));
     }
+    let t0 = std::time::Instant::now();
     let result = swarm.run();
+    let wall = t0.elapsed();
 
     if status {
         // The simulator runs synchronously in virtual time; replay the
@@ -145,12 +202,18 @@ fn main() {
     if let Some(path) = &profile_out {
         write_profile(path, result.profile.as_ref().unwrap_or(&Profile::default()));
     }
-    println!("events processed : {}", result.events_processed);
+    println!(
+        "events processed : {} in {:.2?} wall ({:.0} events/s)",
+        result.events_processed,
+        wall,
+        result.events_processed as f64 / wall.as_secs_f64().max(1e-9)
+    );
     println!("peers completed  : {} / {peers}", result.completed_peers);
     println!(
         "tracker          : {} started, {} completed announces",
         result.tracker_started, result.tracker_completed
     );
+    println!("run digest       : {:016x}", result.digest());
     if let Some(idx) = local {
         if let Some(t) = result.completion.get(idx).copied().flatten() {
             println!(

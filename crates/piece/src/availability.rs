@@ -10,15 +10,49 @@
 //! [`Availability`] maintains those counts incrementally from bitfield /
 //! have / disconnect events, and exposes the *rarest pieces set* and the
 //! min/mean/max statistics that figures 2–4 and 6 of the paper plot.
+//!
+//! # Bucketed index
+//!
+//! The counts are mirrored in a permutation of the piece indices kept
+//! sorted by count (`order`, with inverse `pos`), plus a frequency-bucket
+//! boundary table (`first_ge[c]` = first `order` position whose count is
+//! ≥ `c`). A `have` delta swaps one piece to the boundary of its count
+//! run and moves one boundary — O(1) — so `min_count`, `rarest_set_size`
+//! and `stats` are O(1) reads and `rarest_set` is O(|set|), instead of
+//! the O(pieces) scans of the naive representation. The naive
+//! representation is retained as [`NaiveAvailability`] and the two are
+//! held equivalent by differential property tests
+//! (`tests/availability_diff.rs`).
 
 use crate::bitfield::Bitfield;
 use serde::{Deserialize, Serialize};
 
-/// Per-piece copy counts over the current peer set.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Per-piece copy counts over the current peer set, bucketed by count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Availability {
+    /// Copies of each piece in the peer set.
     counts: Vec<u32>,
+    /// Piece indices sorted by count (ascending; order within a count run
+    /// is arbitrary).
+    order: Vec<u32>,
+    /// Inverse of `order`: `pos[piece]` is its position in `order`.
+    pos: Vec<u32>,
+    /// `first_ge[c]` = first position in `order` whose count is ≥ `c`
+    /// (so the run of count-`c` pieces is `order[first_ge[c]..first_ge[c+1]]`).
+    /// Grown on demand; positions past the end mean `order.len()`.
+    first_ge: Vec<u32>,
+    /// Running sum of all counts (for O(1) mean).
+    total: u64,
 }
+
+/// Two availabilities are equal when their per-piece counts agree; the
+/// bucket permutation is an implementation detail.
+impl PartialEq for Availability {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+    }
+}
+impl Eq for Availability {}
 
 /// Snapshot statistics over the per-piece copy counts (figure 2/4 series).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +70,10 @@ impl Availability {
     pub fn new(num_pieces: u32) -> Availability {
         Availability {
             counts: vec![0; num_pieces as usize],
+            order: (0..num_pieces).collect(),
+            pos: (0..num_pieces).collect(),
+            first_ge: vec![0],
+            total: 0,
         }
     }
 
@@ -49,11 +87,55 @@ impl Availability {
         self.counts[index as usize]
     }
 
+    /// `first_ge[c]`, treating missing tail entries as `order.len()`.
+    fn first_ge_at(&self, c: usize) -> u32 {
+        self.first_ge
+            .get(c)
+            .copied()
+            .unwrap_or(self.order.len() as u32)
+    }
+
+    /// Swap the pieces at `order` positions `a` and `b`, fixing `pos`.
+    fn swap_order(&mut self, a: u32, b: u32) {
+        self.order.swap(a as usize, b as usize);
+        self.pos[self.order[a as usize] as usize] = a;
+        self.pos[self.order[b as usize] as usize] = b;
+    }
+
+    /// Count of piece `index` goes from `c` to `c + 1`: move it to the end
+    /// of its run and pull the `≥ c + 1` boundary back over it.
+    fn increment(&mut self, index: u32) {
+        let c = self.counts[index as usize] as usize;
+        while self.first_ge.len() < c + 2 {
+            self.first_ge.push(self.order.len() as u32);
+        }
+        let last = self.first_ge[c + 1] - 1;
+        self.swap_order(self.pos[index as usize], last);
+        self.first_ge[c + 1] = last;
+        self.counts[index as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Count of piece `index` goes from `c` to `c - 1`: move it to the
+    /// start of its run and push the `≥ c` boundary past it.
+    fn decrement(&mut self, index: u32) {
+        let c = self.counts[index as usize] as usize;
+        debug_assert!(c > 0, "removing uncounted copy of piece {index}");
+        if c == 0 {
+            return;
+        }
+        let start = self.first_ge[c];
+        self.swap_order(self.pos[index as usize], start);
+        self.first_ge[c] = start + 1;
+        self.counts[index as usize] -= 1;
+        self.total -= 1;
+    }
+
     /// A peer joined the peer set with bitfield `bf`.
     pub fn add_peer(&mut self, bf: &Bitfield) {
         debug_assert_eq!(bf.len(), self.num_pieces());
         for i in bf.iter_ones() {
-            self.counts[i as usize] += 1;
+            self.increment(i);
         }
     }
 
@@ -61,37 +143,37 @@ impl Availability {
     pub fn remove_peer(&mut self, bf: &Bitfield) {
         debug_assert_eq!(bf.len(), self.num_pieces());
         for i in bf.iter_ones() {
-            let c = &mut self.counts[i as usize];
-            debug_assert!(*c > 0, "removing peer with piece {i} not counted");
-            *c = c.saturating_sub(1);
+            self.decrement(i);
         }
     }
 
     /// A peer in the set announced a new piece (`have` message).
     pub fn add_have(&mut self, index: u32) {
-        self.counts[index as usize] += 1;
+        self.increment(index);
     }
 
     /// Copies of the rarest piece (`m` in the paper's definition).
     pub fn min_count(&self) -> u32 {
-        self.counts.iter().copied().min().unwrap_or(0)
+        match self.order.first() {
+            Some(&p) => self.counts[p as usize],
+            None => 0,
+        }
     }
 
-    /// The rarest pieces set: all pieces with `m` copies.
+    /// The rarest pieces set: all pieces with `m` copies, ascending.
     pub fn rarest_set(&self) -> Vec<u32> {
-        let m = self.min_count();
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c == m)
-            .map(|(i, _)| i as u32)
-            .collect()
+        let size = self.rarest_set_size() as usize;
+        let mut out = self.order[..size].to_vec();
+        out.sort_unstable();
+        out
     }
 
     /// Size of the rarest pieces set (figure 3/6 series).
     pub fn rarest_set_size(&self) -> u32 {
-        let m = self.min_count();
-        self.counts.iter().filter(|&&c| c == m).count() as u32
+        if self.order.is_empty() {
+            return 0;
+        }
+        self.first_ge_at(self.min_count() as usize + 1)
     }
 
     /// The rarest pieces set restricted to `candidates` (pieces the local
@@ -115,7 +197,192 @@ impl Availability {
         out
     }
 
+    /// [`Self::rarest_among`] over the picker's candidate set
+    /// (`remote \ own`, minus in-progress pieces), but walking the count
+    /// buckets rarest-first so the common case touches only the few
+    /// lowest runs instead of every candidate.
+    ///
+    /// Returns exactly what `rarest_among` over the ascending candidate
+    /// iterator returns: the minimum-count candidates in ascending piece
+    /// order. When the candidate set is much smaller than the piece count
+    /// the candidate scan is cheaper, so this switches on a size bound —
+    /// both paths are output-identical, keeping picks deterministic.
+    pub fn rarest_among_fields(
+        &self,
+        remote: &Bitfield,
+        own: &Bitfield,
+        in_progress: &dyn Fn(u32) -> bool,
+    ) -> Vec<u32> {
+        let bound = remote.count_andnot(own) as usize;
+        if bound == 0 {
+            return Vec::new();
+        }
+        if bound * 8 <= self.order.len() {
+            // Sparse candidates: the linear scan wins.
+            return self.rarest_among(remote.iter_ones_andnot(own).filter(|&i| !in_progress(i)));
+        }
+        let mut out = Vec::new();
+        let mut idx = 0;
+        while idx < self.order.len() {
+            let c = self.counts[self.order[idx] as usize] as usize;
+            let end = self.first_ge_at(c + 1) as usize;
+            for &p in &self.order[idx..end] {
+                if remote.get(p) && !own.get(p) && !in_progress(p) {
+                    out.push(p);
+                }
+            }
+            if !out.is_empty() {
+                out.sort_unstable();
+                return out;
+            }
+            idx = end;
+        }
+        out
+    }
+
     /// Min/mean/max copies, the series plotted in figures 2 and 4.
+    pub fn stats(&self) -> AvailabilityStats {
+        if self.counts.is_empty() {
+            return AvailabilityStats {
+                min: 0,
+                mean: 0.0,
+                max: 0,
+            };
+        }
+        let min = self.min_count();
+        let max = self.counts[*self.order.last().unwrap() as usize];
+        let mean = self.total as f64 / self.counts.len() as f64;
+        AvailabilityStats { min, mean, max }
+    }
+
+    /// True when at least one piece has zero copies in the peer set — the
+    /// local signature of a torrent in *transient state* (§IV-A.2).
+    pub fn has_missing_piece(&self) -> bool {
+        !self.counts.is_empty() && self.min_count() == 0
+    }
+
+    /// Internal invariants, checked by the differential tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let n = self.counts.len();
+        assert_eq!(self.order.len(), n);
+        assert_eq!(self.pos.len(), n);
+        for (p, &at) in self.pos.iter().enumerate() {
+            assert_eq!(self.order[at as usize] as usize, p, "pos/order inverse");
+        }
+        for w in self.order.windows(2) {
+            assert!(
+                self.counts[w[0] as usize] <= self.counts[w[1] as usize],
+                "order not sorted by count"
+            );
+        }
+        assert_eq!(self.first_ge_at(0), 0);
+        for c in 0..self.first_ge.len() + 1 {
+            let at = self.first_ge_at(c) as usize;
+            assert!(at <= n);
+            assert!(
+                self.order[..at]
+                    .iter()
+                    .all(|&p| (self.counts[p as usize] as usize) < c),
+                "pieces before first_ge[{c}] must have count < {c}"
+            );
+            assert!(
+                self.order[at..]
+                    .iter()
+                    .all(|&p| (self.counts[p as usize] as usize) >= c),
+                "pieces from first_ge[{c}] must have count >= {c}"
+            );
+        }
+        assert_eq!(
+            self.total,
+            self.counts.iter().map(|&c| u64::from(c)).sum::<u64>()
+        );
+    }
+}
+
+/// The pre-bucketing representation — a bare count vector with O(pieces)
+/// scans — kept as the differential-testing reference for
+/// [`Availability`]. Every query here is the obviously-correct spelling
+/// of the paper's definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NaiveAvailability {
+    counts: Vec<u32>,
+}
+
+impl NaiveAvailability {
+    /// Zero counts for `num_pieces` pieces.
+    pub fn new(num_pieces: u32) -> NaiveAvailability {
+        NaiveAvailability {
+            counts: vec![0; num_pieces as usize],
+        }
+    }
+
+    /// Copies of piece `index` in the peer set.
+    pub fn count(&self, index: u32) -> u32 {
+        self.counts[index as usize]
+    }
+
+    /// A peer joined the peer set with bitfield `bf`.
+    pub fn add_peer(&mut self, bf: &Bitfield) {
+        for i in bf.iter_ones() {
+            self.counts[i as usize] += 1;
+        }
+    }
+
+    /// A peer left the peer set; remove its contribution.
+    pub fn remove_peer(&mut self, bf: &Bitfield) {
+        for i in bf.iter_ones() {
+            self.counts[i as usize] = self.counts[i as usize].saturating_sub(1);
+        }
+    }
+
+    /// A peer in the set announced a new piece (`have` message).
+    pub fn add_have(&mut self, index: u32) {
+        self.counts[index as usize] += 1;
+    }
+
+    /// Copies of the rarest piece.
+    pub fn min_count(&self) -> u32 {
+        self.counts.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The rarest pieces set: all pieces with `m` copies.
+    pub fn rarest_set(&self) -> Vec<u32> {
+        let m = self.min_count();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == m)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Size of the rarest pieces set.
+    pub fn rarest_set_size(&self) -> u32 {
+        let m = self.min_count();
+        self.counts.iter().filter(|&&c| c == m).count() as u32
+    }
+
+    /// The rarest pieces set restricted to `candidates`.
+    pub fn rarest_among<I: IntoIterator<Item = u32>>(&self, candidates: I) -> Vec<u32> {
+        let mut best = u32::MAX;
+        let mut out = Vec::new();
+        for i in candidates {
+            let c = self.counts[i as usize];
+            match c.cmp(&best) {
+                std::cmp::Ordering::Less => {
+                    best = c;
+                    out.clear();
+                    out.push(i);
+                }
+                std::cmp::Ordering::Equal => out.push(i),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        out
+    }
+
+    /// Min/mean/max copies.
     pub fn stats(&self) -> AvailabilityStats {
         if self.counts.is_empty() {
             return AvailabilityStats {
@@ -131,8 +398,7 @@ impl Availability {
         AvailabilityStats { min, mean, max }
     }
 
-    /// True when at least one piece has zero copies in the peer set — the
-    /// local signature of a torrent in *transient state* (§IV-A.2).
+    /// True when at least one piece has zero copies in the peer set.
     pub fn has_missing_piece(&self) -> bool {
         self.counts.contains(&0)
     }
@@ -159,6 +425,7 @@ mod tests {
         assert_eq!(av.count(1), 0);
         av.remove_peer(&peer);
         assert_eq!(av.stats().max, 0);
+        av.check_invariants();
     }
 
     #[test]
@@ -167,6 +434,7 @@ mod tests {
         av.add_have(2);
         av.add_have(2);
         assert_eq!(av.count(2), 2);
+        av.check_invariants();
     }
 
     #[test]
@@ -182,6 +450,7 @@ mod tests {
         av.add_have(3);
         // counts: [2,1,1,1] → m = 1, rarest = {1,2,3}
         assert_eq!(av.rarest_set(), vec![1, 2, 3]);
+        av.check_invariants();
     }
 
     #[test]
@@ -198,6 +467,31 @@ mod tests {
     }
 
     #[test]
+    fn rarest_among_fields_matches_candidate_scan() {
+        let n = 9;
+        let mut av = Availability::new(n);
+        av.add_peer(&bf(n, &[0, 1, 2, 3, 4, 5]));
+        av.add_peer(&bf(n, &[0, 1, 2]));
+        av.add_peer(&bf(n, &[0]));
+        let own = bf(n, &[0, 5]);
+        let remote = Bitfield::full(n);
+        let blocked = |p: u32| p == 6;
+        let never = |_: u32| false;
+        for in_prog in [&blocked as &dyn Fn(u32) -> bool, &never] {
+            let fast = av.rarest_among_fields(&remote, &own, in_prog);
+            let slow = av.rarest_among(remote.iter_ones_andnot(&own).filter(|&i| !in_prog(i)));
+            assert_eq!(fast, slow);
+        }
+        // Sparse remote exercises the candidate-scan branch.
+        let sparse = bf(n, &[3]);
+        assert_eq!(av.rarest_among_fields(&sparse, &own, &never), vec![3]);
+        assert_eq!(
+            av.rarest_among_fields(&own, &own, &never),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
     fn stats_and_transient_signature() {
         let mut av = Availability::new(3);
         assert!(av.has_missing_piece());
@@ -208,5 +502,17 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 2);
         assert!((s.mean - 4.0 / 3.0).abs() < 1e-12);
+        av.check_invariants();
+    }
+
+    #[test]
+    fn empty_availability_is_well_defined() {
+        let av = Availability::new(0);
+        assert_eq!(av.min_count(), 0);
+        assert_eq!(av.rarest_set(), Vec::<u32>::new());
+        assert_eq!(av.rarest_set_size(), 0);
+        assert!(!av.has_missing_piece());
+        assert_eq!(av.stats(), NaiveAvailability::new(0).stats());
+        av.check_invariants();
     }
 }

@@ -103,14 +103,74 @@ impl Bitfield {
         was
     }
 
+    /// Mask selecting the valid bits of word `w` (all-ones except for a
+    /// ragged final word).
+    fn tail_mask(&self, w: usize) -> u64 {
+        if w + 1 == self.bits.len() && !self.len.is_multiple_of(64) {
+            (1u64 << (self.len % 64)) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Iterate over the indices of set pieces.
     pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        bit_indices(self.bits.iter().copied())
     }
 
     /// Iterate over the indices of missing pieces.
     pub fn iter_zeros(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.len).filter(move |&i| !self.get(i))
+        bit_indices(
+            self.bits
+                .iter()
+                .enumerate()
+                .map(move |(w, &x)| !x & self.tail_mask(w)),
+        )
+    }
+
+    /// Iterate over pieces `self` has and `other` lacks, ascending.
+    ///
+    /// Word-level `self & !other`; the picker's candidate enumeration
+    /// (`remote \ own`) is this iterator.
+    pub fn iter_ones_andnot<'a>(&'a self, other: &'a Bitfield) -> impl Iterator<Item = u32> + 'a {
+        debug_assert_eq!(self.len, other.len);
+        bit_indices(
+            self.bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(mine, theirs)| mine & !theirs),
+        )
+    }
+
+    /// Number of pieces both bitfields have (`|self ∩ other|`).
+    pub fn count_and(&self, other: &Bitfield) -> u32 {
+        debug_assert_eq!(self.len, other.len);
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Number of pieces `self` has that `other` lacks (`|self \ other|`).
+    pub fn count_andnot(&self, other: &Bitfield) -> u32 {
+        debug_assert_eq!(self.len, other.len);
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(a, b)| (a & !b).count_ones())
+            .sum()
+    }
+
+    /// Index of the first missing piece, or `None` for a seed.
+    pub fn first_zero(&self) -> Option<u32> {
+        for (w, &x) in self.bits.iter().enumerate() {
+            let holes = !x & self.tail_mask(w);
+            if holes != 0 {
+                return Some(w as u32 * 64 + holes.trailing_zeros());
+            }
+        }
+        None
     }
 
     /// True if `other` has at least one piece this bitfield lacks.
@@ -159,6 +219,26 @@ impl Bitfield {
         }
         Some(bf)
     }
+}
+
+/// Ascending bit indices over a word stream: for each word `w` of the
+/// packed layout, bit `b` yields index `w * 64 + b`. One
+/// `trailing_zeros` + clear-lowest-bit per set bit, one load per word —
+/// the word-level replacement for per-index `get()` scans.
+fn bit_indices<I: Iterator<Item = u64>>(words: I) -> impl Iterator<Item = u32> {
+    let mut words = words.enumerate();
+    let mut cur: Option<(u32, u64)> = None;
+    std::iter::from_fn(move || loop {
+        if let Some((base, bits)) = &mut cur {
+            if *bits != 0 {
+                let b = bits.trailing_zeros();
+                *bits &= *bits - 1;
+                return Some(*base + b);
+            }
+        }
+        let (w, bits) = words.next()?;
+        cur = Some((w as u32 * 64, bits));
+    })
 }
 
 #[cfg(test)]

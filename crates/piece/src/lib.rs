@@ -21,7 +21,7 @@ pub mod geometry;
 pub mod picker;
 pub mod scheduler;
 
-pub use availability::{Availability, AvailabilityStats};
+pub use availability::{Availability, AvailabilityStats, NaiveAvailability};
 pub use bitfield::Bitfield;
 pub use geometry::Geometry;
 pub use picker::{

@@ -29,11 +29,10 @@ pub struct PickContext<'a> {
 impl<'a> PickContext<'a> {
     /// Iterate over pieces the remote has, we lack, and are not in progress.
     pub fn candidates(&self) -> impl Iterator<Item = u32> + '_ {
-        let own = self.own;
         let in_progress = self.in_progress;
         self.remote
-            .iter_ones()
-            .filter(move |&i| !own.get(i) && !in_progress(i))
+            .iter_ones_andnot(self.own)
+            .filter(move |&i| !in_progress(i))
     }
 }
 
@@ -96,7 +95,9 @@ impl PiecePicker for RarestFirst {
             let candidates: Vec<u32> = ctx.candidates().collect();
             return choose_random(&candidates, rng);
         }
-        let rarest = ctx.availability.rarest_among(ctx.candidates());
+        let rarest = ctx
+            .availability
+            .rarest_among_fields(ctx.remote, ctx.own, ctx.in_progress);
         choose_random(&rarest, rng)
     }
 

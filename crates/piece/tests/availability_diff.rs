@@ -1,0 +1,156 @@
+//! Differential tests: the bucketed [`Availability`] index against the
+//! O(pieces) [`NaiveAvailability`] reference it replaced.
+//!
+//! Both structures are driven through identical random operation
+//! sequences (peers joining and leaving with random bitfields, HAVE
+//! announcements), and every query the picker relies on is compared
+//! after every step. The bucketed structure additionally self-checks
+//! its internal invariants (`check_invariants`) at each step, so any
+//! drift in the `order`/`pos`/`first_ge` bookkeeping is caught at the
+//! mutation that introduced it, not at a later query.
+
+use bt_piece::{Availability, Bitfield, NaiveAvailability};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// A peer with bitfield drawn from `bits` joins.
+    AddPeer(Vec<bool>),
+    /// The `i`-th currently-joined peer leaves (modulo the live count).
+    RemovePeer(usize),
+    /// A HAVE for piece `p % num_pieces`.
+    Have(u32),
+}
+
+fn arb_op(pieces: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => proptest::collection::vec(any::<bool>(), pieces..=pieces)
+            .prop_map(Op::AddPeer),
+        1 => (0usize..8).prop_map(Op::RemovePeer),
+        4 => (0u32..64).prop_map(Op::Have),
+    ]
+}
+
+fn bitfield_from(bits: &[bool]) -> Bitfield {
+    let mut bf = Bitfield::new(bits.len() as u32);
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            bf.set(i as u32);
+        }
+    }
+    bf
+}
+
+/// Compare every picker-facing query of the two structures.
+fn assert_equivalent(bucketed: &Availability, naive: &NaiveAvailability, pieces: u32) {
+    bucketed.check_invariants();
+    for p in 0..pieces {
+        assert_eq!(bucketed.count(p), naive.count(p), "count({p})");
+    }
+    assert_eq!(bucketed.min_count(), naive.min_count(), "min_count");
+    assert_eq!(bucketed.rarest_set(), naive.rarest_set(), "rarest_set");
+    assert_eq!(
+        bucketed.rarest_set_size(),
+        naive.rarest_set_size(),
+        "rarest_set_size"
+    );
+    assert_eq!(bucketed.stats(), naive.stats(), "stats");
+    assert_eq!(
+        bucketed.has_missing_piece(),
+        naive.has_missing_piece(),
+        "has_missing_piece"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary join/leave/HAVE histories leave the two structures
+    /// answering every query identically, and `rarest_among` agrees for
+    /// arbitrary candidate sets drawn after each history.
+    #[test]
+    fn bucketed_matches_naive(
+        pieces in 1u32..40,
+        ops in proptest::collection::vec(arb_op(40), 1..80),
+        candidates in proptest::collection::vec(0u32..40, 0..20),
+    ) {
+        let mut bucketed = Availability::new(pieces);
+        let mut naive = NaiveAvailability::new(pieces);
+        // Shadow roster so RemovePeer always removes a bitfield that was
+        // actually added (removing arbitrary bitfields would underflow).
+        let mut joined: Vec<Bitfield> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::AddPeer(bits) => {
+                    let bf = bitfield_from(&bits[..pieces as usize]);
+                    bucketed.add_peer(&bf);
+                    naive.add_peer(&bf);
+                    joined.push(bf);
+                }
+                Op::RemovePeer(i) => {
+                    if !joined.is_empty() {
+                        let bf = joined.remove(i % joined.len());
+                        bucketed.remove_peer(&bf);
+                        naive.remove_peer(&bf);
+                    }
+                }
+                Op::Have(p) => {
+                    let p = p % pieces;
+                    bucketed.add_have(p);
+                    naive.add_have(p);
+                    // Keep the roster consistent: attribute the HAVE to a
+                    // joined peer when possible so later removals stay
+                    // within recorded counts.
+                    if let Some(bf) = joined.iter_mut().find(|bf| !bf.get(p)) {
+                        bf.set(p);
+                    } else {
+                        let mut bf = Bitfield::new(pieces);
+                        bf.set(p);
+                        joined.push(bf);
+                    }
+                }
+            }
+            assert_equivalent(&bucketed, &naive, pieces);
+        }
+
+        // The rarest-first entry point: identical candidate multisets in,
+        // identical (sorted, deduplicated) rarest subsets out.
+        let cands: Vec<u32> = candidates.into_iter().map(|c| c % pieces).collect();
+        prop_assert_eq!(
+            bucketed.rarest_among(cands.iter().copied()),
+            naive.rarest_among(cands.iter().copied())
+        );
+    }
+
+    /// `rarest_among_fields` (the bucket-scan fast path) agrees with the
+    /// naive candidate enumeration it shortcuts, for arbitrary remote and
+    /// own bitfields over arbitrary availability states.
+    #[test]
+    fn fields_fast_path_matches_naive_scan(
+        pieces in 1u32..40,
+        peers in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 40), 0..8),
+        remote_bits in proptest::collection::vec(any::<bool>(), 40),
+        own_bits in proptest::collection::vec(any::<bool>(), 40),
+        in_prog in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let mut bucketed = Availability::new(pieces);
+        let mut naive = NaiveAvailability::new(pieces);
+        for bits in &peers {
+            let bf = bitfield_from(&bits[..pieces as usize]);
+            bucketed.add_peer(&bf);
+            naive.add_peer(&bf);
+        }
+        bucketed.check_invariants();
+        let remote = bitfield_from(&remote_bits[..pieces as usize]);
+        let own = bitfield_from(&own_bits[..pieces as usize]);
+        let in_progress = |p: u32| in_prog[p as usize];
+
+        let fast = bucketed.rarest_among_fields(&remote, &own, &in_progress);
+        let reference = naive.rarest_among(
+            (0..pieces).filter(|&p| remote.get(p) && !own.get(p) && !in_progress(p)),
+        );
+        prop_assert_eq!(fast, reference);
+    }
+}

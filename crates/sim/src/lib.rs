@@ -19,7 +19,7 @@ pub mod swarm;
 pub mod tracker;
 
 pub use behavior::{BehaviorProfile, CapacityClass, Role};
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapEventQueue};
 pub use metrics::SimMetrics;
 pub use swarm::{GlobalSample, Swarm, SwarmResult, SwarmSpec};
 pub use tracker::{PeerIdx, SimTracker};

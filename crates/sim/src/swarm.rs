@@ -93,6 +93,12 @@ pub struct SwarmSpec {
     /// overloaded or rationing tracker; `None` = the usual 50). The
     /// regime where BEP 11 peer exchange earns its keep.
     pub tracker_response_cap: Option<usize>,
+    /// Use the tracker's O(num_want) incremental-shuffle sampling instead
+    /// of the legacy full sort+shuffle per announce. Still deterministic,
+    /// but a *different* deterministic draw sequence — existing golden
+    /// traces pin the legacy path, so only mega-swarm scenarios enable
+    /// this.
+    pub scalable_tracker: bool,
     /// Record *global* piece-replication snapshots alongside the local
     /// peer's availability samples. The paper repeatedly notes "we do
     /// not have global knowledge of the torrent"; the simulator does,
@@ -122,6 +128,7 @@ impl Default for SwarmSpec {
             corrupt_block_prob: 0.0,
             dial_failure_prob: 0.0,
             tracker_response_cap: None,
+            scalable_tracker: false,
             sample_global: false,
         }
     }
@@ -172,6 +179,58 @@ pub struct SwarmResult {
     pub profile: Option<bt_obs::Profile>,
 }
 
+impl SwarmResult {
+    /// A 64-bit FNV-1a fingerprint over every deterministic output of the
+    /// run: event count, completions (with exact times), tracker tallies,
+    /// the encoded trace (when instrumented), and the global replication
+    /// series (when sampled). Two runs of the same spec must produce the
+    /// same digest, whatever process, thread pool, or job count ran them
+    /// — the mega-swarm golden and parallelism tests compare exactly
+    /// this value, and `swarmrun` prints it after every simulator run.
+    pub fn digest(&self) -> u64 {
+        let mut text = String::new();
+        use std::fmt::Write as _;
+        let _ = write!(
+            text,
+            "events={} completed={} started={} completed_ann={}",
+            self.events_processed,
+            self.completed_peers,
+            self.tracker_started,
+            self.tracker_completed
+        );
+        for (idx, t) in self.completion.iter().enumerate() {
+            if let Some(t) = t {
+                let _ = write!(text, " c{idx}={}", t.0);
+            }
+        }
+        for g in &self.global_series {
+            let _ = write!(
+                text,
+                " g{}={}:{}:{}:{}",
+                g.at.0, g.min, g.max, g.single_copy_pieces, g.live_peers
+            );
+        }
+        let mut hash = fnv1a64(text.as_bytes());
+        if let Some(trace) = &self.trace {
+            // Chain rather than concatenate: traces can be large, and the
+            // jsonl encoding is already a byte-stable function of the run.
+            hash ^= fnv1a64(trace.to_jsonl().as_bytes()).rotate_left(1);
+        }
+        hash
+    }
+}
+
+/// FNV-1a, 64-bit — the same dependency-free fingerprint the golden
+/// trace fixtures use.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 enum Ev {
     Join(PeerIdx),
     Depart(PeerIdx),
@@ -201,18 +260,79 @@ enum Ev {
     Sample,
 }
 
+/// Pooled per-connection state: the link topology, the upload queue and
+/// the partial-block byte credit that used to live in three parallel
+/// `HashMap<ConnId, _>`s. Engine connection IDs are small and sequential,
+/// so a slot vector indexed by `ConnId` replaces hashing entirely, and
+/// iteration in slot order *is* the ascending-`ConnId` order the
+/// determinism contract requires (the old code sorted for it).
+struct LinkSlot {
+    to: PeerIdx,
+    remote_conn: ConnId,
+    latency: Duration,
+    /// Blocks the engine asked us to upload on this connection, FIFO.
+    queue: VecDeque<BlockRef>,
+    /// Bytes granted to the head block but not yet covering it whole.
+    head_credit: u64,
+}
+
 struct SimPeer {
     engine: Engine,
     profile: BehaviorProfile,
     alive: bool,
     was_seed: bool,
-    links: HashMap<ConnId, (PeerIdx, ConnId, Duration)>,
-    uploads: HashMap<ConnId, VecDeque<BlockRef>>,
-    head_credit: HashMap<ConnId, u64>,
+    /// Connection slots indexed by local `ConnId`; `None` = no link.
+    links: Vec<Option<LinkSlot>>,
+    /// Recycled upload queues from closed links (allocation pooling).
+    spare_queues: Vec<VecDeque<BlockRef>>,
     port: u16,
     /// Times this client has crashed and restarted (drives the fresh
     /// peer-ID suffix of §III-D).
     restarts: u32,
+}
+
+impl SimPeer {
+    fn link(&self, conn: ConnId) -> Option<&LinkSlot> {
+        self.links.get(conn as usize).and_then(|s| s.as_ref())
+    }
+
+    fn link_mut(&mut self, conn: ConnId) -> Option<&mut LinkSlot> {
+        self.links.get_mut(conn as usize).and_then(|s| s.as_mut())
+    }
+
+    fn insert_link(&mut self, conn: ConnId, to: PeerIdx, remote_conn: ConnId, latency: Duration) {
+        let i = conn as usize;
+        if self.links.len() <= i {
+            self.links.resize_with(i + 1, || None);
+        }
+        let queue = self.spare_queues.pop().unwrap_or_default();
+        self.links[i] = Some(LinkSlot {
+            to,
+            remote_conn,
+            latency,
+            queue,
+            head_credit: 0,
+        });
+    }
+
+    /// Close a link, recycling its queue; returns the far end.
+    /// Tear down a link; returns its far end plus how many upload blocks
+    /// were still queued (the caller keeps the swarm-level queued-block
+    /// counters in sync).
+    fn remove_link(&mut self, conn: ConnId) -> Option<(PeerIdx, ConnId, Duration, u32)> {
+        let slot = self.links.get_mut(conn as usize)?.take()?;
+        let LinkSlot {
+            to,
+            remote_conn,
+            latency,
+            mut queue,
+            ..
+        } = slot;
+        let dropped = queue.len() as u32;
+        queue.clear();
+        self.spare_queues.push(queue);
+        Some((to, remote_conn, latency, dropped))
+    }
 }
 
 /// The swarm simulator. Build with [`Swarm::new`], run with
@@ -235,6 +355,24 @@ pub struct Swarm {
     metrics: Option<SimMetrics>,
     metric_snapshots: Vec<bt_obs::Snapshot>,
     profiler: bt_obs::Profiler,
+    // Reused per-round scratch buffers (see `do_transfers`): transfer
+    // rounds run every virtual second over every peer, so they must not
+    // allocate.
+    budget_scratch: Vec<u64>,
+    demand_scratch: Vec<(ConnId, PeerIdx, ConnId, u64)>,
+    demand_bytes: Vec<u64>,
+    grant_scratch: Vec<u64>,
+    counts_scratch: Vec<u32>,
+    // Dense per-peer round state, kept beside the peers rather than
+    // inside them so the per-round sweep touches two small arrays instead
+    // of one `SimPeer` cache line per peer (the mega-swarm win: idle
+    // peers cost nothing per round).
+    /// Upload blocks queued across each peer's links.
+    queued_blocks: Vec<u32>,
+    /// Static per-round download budget per peer (caps never change).
+    download_budget: Vec<u64>,
+    /// Static per-round upload budget per peer.
+    upload_budget: Vec<u64>,
 }
 
 impl Swarm {
@@ -335,9 +473,8 @@ impl Swarm {
                 profile: profile.clone(),
                 alive: false,
                 was_seed,
-                links: HashMap::new(),
-                uploads: HashMap::new(),
-                head_credit: HashMap::new(),
+                links: Vec::new(),
+                spare_queues: Vec::new(),
                 port: 6881,
                 restarts: 0,
             });
@@ -355,6 +492,24 @@ impl Swarm {
         }
 
         let n = spec.peers.len();
+        let mut tracker = SimTracker::new();
+        tracker.scalable_sampling = spec.scalable_tracker;
+        let round_secs = spec.transfer_round.as_secs_f64();
+        let download_budget: Vec<u64> = peers
+            .iter()
+            .map(|p| {
+                let cap = p.engine.config.max_download_rate;
+                if cap == u64::MAX {
+                    u64::MAX
+                } else {
+                    (cap as f64 * round_secs) as u64
+                }
+            })
+            .collect();
+        let upload_budget: Vec<u64> = peers
+            .iter()
+            .map(|p| (p.engine.config.max_upload_rate as f64 * round_secs) as u64)
+            .collect();
         Swarm {
             spec,
             geometry,
@@ -363,7 +518,7 @@ impl Swarm {
             peers,
             ip_of,
             by_ip,
-            tracker: SimTracker::new(),
+            tracker,
             rng,
             completion: vec![None; n],
             events_processed: 0,
@@ -373,6 +528,14 @@ impl Swarm {
             metrics: None,
             metric_snapshots: Vec::new(),
             profiler: bt_obs::Profiler::disabled(),
+            budget_scratch: Vec::new(),
+            demand_scratch: Vec::new(),
+            demand_bytes: Vec::new(),
+            grant_scratch: Vec::new(),
+            counts_scratch: Vec::new(),
+            queued_blocks: vec![0; n],
+            download_budget,
+            upload_budget,
         }
     }
 
@@ -579,9 +742,9 @@ impl Swarm {
                 let p = &mut self.peers[to];
                 if p.alive {
                     p.engine.handle(now, Input::PeerDisconnected { conn });
-                    p.links.remove(&conn);
-                    p.uploads.remove(&conn);
-                    p.head_credit.remove(&conn);
+                    if let Some((.., dropped)) = p.remove_link(conn) {
+                        self.queued_blocks[to] -= dropped;
+                    }
                     self.process_actions(now, to);
                 }
             }
@@ -679,20 +842,7 @@ impl Swarm {
         );
         // Tear down like a departure...
         self.tracker.remove(idx);
-        let mut links: Vec<(ConnId, (PeerIdx, ConnId, Duration))> =
-            self.peers[idx].links.drain().collect();
-        links.sort_unstable_by_key(|(c, _)| *c);
-        self.peers[idx].uploads.clear();
-        self.peers[idx].head_credit.clear();
-        for (_local_conn, (to, remote_conn, lat)) in links {
-            self.queue.schedule(
-                now + lat,
-                Ev::NotifyDisconnect {
-                    to,
-                    conn: remote_conn,
-                },
-            );
-        }
+        self.drop_all_links(now, idx);
         // ...then rebuild the engine: same IP, same disk (bitfield), new
         // random peer-ID suffix.
         let p = &mut self.peers[idx];
@@ -743,19 +893,26 @@ impl Swarm {
         }
         self.peers[idx].alive = false;
         self.tracker.remove(idx);
-        let mut links: Vec<(ConnId, (PeerIdx, ConnId, Duration))> =
-            self.peers[idx].links.drain().collect();
-        links.sort_unstable_by_key(|(c, _)| *c);
-        self.peers[idx].uploads.clear();
-        self.peers[idx].head_credit.clear();
-        for (_local_conn, (to, remote_conn, lat)) in links {
-            self.queue.schedule(
-                now + lat,
-                Ev::NotifyDisconnect {
-                    to,
-                    conn: remote_conn,
-                },
-            );
+        self.drop_all_links(now, idx);
+    }
+
+    /// Close every link of `idx`, notifying the far ends. Slot order is
+    /// ascending `ConnId` — the same order the map-based code sorted
+    /// into, so disconnect events keep their sequence numbers.
+    fn drop_all_links(&mut self, now: Instant, idx: PeerIdx) {
+        for conn in 0..self.peers[idx].links.len() {
+            if let Some((to, remote_conn, lat, dropped)) =
+                self.peers[idx].remove_link(conn as ConnId)
+            {
+                self.queued_blocks[idx] -= dropped;
+                self.queue.schedule(
+                    now + lat,
+                    Ev::NotifyDisconnect {
+                        to,
+                        conn: remote_conn,
+                    },
+                );
+            }
         }
     }
 
@@ -831,12 +988,8 @@ impl Swarm {
             } else {
                 0
             });
-        self.peers[from]
-            .links
-            .insert(from_conn, (to, to_conn, link_latency));
-        self.peers[to]
-            .links
-            .insert(to_conn, (from, from_conn, link_latency));
+        self.peers[from].insert_link(from_conn, to, to_conn, link_latency);
+        self.peers[to].insert_link(to_conn, from, from_conn, link_latency);
         self.process_actions(now, to);
         self.process_actions(now, from);
     }
@@ -868,43 +1021,44 @@ impl Swarm {
                 Action::Send { conn, msg } => {
                     if matches!(msg, Message::Choke) {
                         // Choking drops this connection's queued uploads.
-                        self.peers[idx].uploads.remove(&conn);
-                        self.peers[idx].head_credit.remove(&conn);
+                        if let Some(slot) = self.peers[idx].link_mut(conn) {
+                            self.queued_blocks[idx] -= slot.queue.len() as u32;
+                            slot.queue.clear();
+                            slot.head_credit = 0;
+                        }
                     }
-                    if let Some(&(to, remote_conn, lat)) = self.peers[idx].links.get(&conn) {
+                    if let Some(slot) = self.peers[idx].link(conn) {
                         self.queue.schedule(
-                            now + lat,
+                            now + slot.latency,
                             Ev::Deliver {
-                                to,
-                                conn: remote_conn,
+                                to: slot.to,
+                                conn: slot.remote_conn,
                                 msg,
                             },
                         );
                     }
                 }
                 Action::SendBlock { conn, block } => {
-                    if self.peers[idx].links.contains_key(&conn) {
-                        self.peers[idx]
-                            .uploads
-                            .entry(conn)
-                            .or_default()
-                            .push_back(block);
+                    if let Some(slot) = self.peers[idx].link_mut(conn) {
+                        slot.queue.push_back(block);
+                        self.queued_blocks[idx] += 1;
                     }
                 }
                 Action::CancelBlock { conn, block } => {
-                    if let Some(q) = self.peers[idx].uploads.get_mut(&conn) {
-                        if let Some(pos) = q.iter().position(|b| *b == block) {
+                    if let Some(slot) = self.peers[idx].link_mut(conn) {
+                        if let Some(pos) = slot.queue.iter().position(|b| *b == block) {
                             // Keep the head's partial credit if the head
                             // itself is cancelled; the credit simply goes
                             // to the next block (capacity was spent).
-                            q.remove(pos);
+                            slot.queue.remove(pos);
+                            self.queued_blocks[idx] -= 1;
                         }
                     }
                 }
                 Action::Disconnect { conn } => {
-                    self.peers[idx].uploads.remove(&conn);
-                    self.peers[idx].head_credit.remove(&conn);
-                    if let Some((to, remote_conn, lat)) = self.peers[idx].links.remove(&conn) {
+                    if let Some((to, remote_conn, lat, dropped)) = self.peers[idx].remove_link(conn)
+                    {
+                        self.queued_blocks[idx] -= dropped;
                         self.queue.schedule(
                             now + lat,
                             Ev::NotifyDisconnect {
@@ -959,95 +1113,83 @@ impl Swarm {
     // ------------------------------------------------------------------
 
     fn do_transfers(&mut self, now: Instant) {
-        let round_secs = self.spec.transfer_round.as_secs_f64();
         let n = self.peers.len();
-        // Per-receiver download budget for this round.
-        let mut budgets: Vec<u64> = self
-            .peers
-            .iter()
-            .map(|p| {
-                let cap = p.engine.config.max_download_rate;
-                if cap == u64::MAX {
-                    u64::MAX
-                } else {
-                    (cap as f64 * round_secs) as u64
-                }
-            })
-            .collect();
+        // Per-receiver download budget for this round: a memcpy of the
+        // precomputed caps (they never change mid-run).
+        let mut budgets = std::mem::take(&mut self.budget_scratch);
+        budgets.clone_from(&self.download_budget);
+        let mut demand = std::mem::take(&mut self.demand_scratch);
+        let mut demand_bytes = std::mem::take(&mut self.demand_bytes);
+        let mut grants = std::mem::take(&mut self.grant_scratch);
 
         for idx in 0..n {
-            if !self.peers[idx].alive {
+            // The dense queued-block counters make idle peers free: the
+            // sweep reads one small array instead of every `SimPeer`.
+            if self.queued_blocks[idx] == 0 {
                 continue;
             }
-            let mut active: Vec<ConnId> = self.peers[idx]
-                .uploads
-                .iter()
-                .filter(|(conn, q)| !q.is_empty() && self.peers[idx].links.contains_key(conn))
-                .map(|(&conn, _)| conn)
-                .collect();
-            if active.is_empty() {
-                continue;
-            }
-            active.sort_unstable();
-            let up_budget =
-                (self.peers[idx].engine.config.max_upload_rate as f64 * round_secs) as u64;
-
+            debug_assert!(self.peers[idx].alive, "queued uploads on a dead peer");
             // Max-min (water-filling) allocation: each connection demands
             // at most its queued bytes and its receiver's remaining
             // download budget; the sender's budget is split equally among
             // unsaturated connections, surplus flowing to the rest — the
             // fluid analogue of TCP filling whatever pipes have room.
-            let mut demand: Vec<(ConnId, PeerIdx, ConnId, u64)> = Vec::with_capacity(active.len());
-            for conn in active {
-                let Some(&(to, remote_conn, _)) = self.peers[idx].links.get(&conn) else {
-                    continue;
-                };
-                if !self.peers[to].alive {
+            // Slot order is ascending ConnId, as the sort used to ensure.
+            demand.clear();
+            demand_bytes.clear();
+            for (c, slot) in self.peers[idx].links.iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                if slot.queue.is_empty() || !self.peers[slot.to].alive {
                     continue;
                 }
-                let queued: u64 = self.peers[idx].uploads[&conn]
-                    .iter()
-                    .map(|b| u64::from(b.length))
-                    .sum();
-                let credit = self.peers[idx].head_credit.get(&conn).copied().unwrap_or(0);
-                let d = queued.saturating_sub(credit).min(budgets[to]);
+                let queued: u64 = slot.queue.iter().map(|b| u64::from(b.length)).sum();
+                let d = queued
+                    .saturating_sub(slot.head_credit)
+                    .min(budgets[slot.to]);
                 if d > 0 {
-                    demand.push((conn, to, remote_conn, d));
+                    demand.push((c as ConnId, slot.to, slot.remote_conn, d));
+                    demand_bytes.push(d);
                 }
             }
             if demand.is_empty() {
                 continue;
             }
-            let grants = water_fill(up_budget, &demand.iter().map(|d| d.3).collect::<Vec<_>>());
-            for ((conn, to, remote_conn, _), grant) in demand.into_iter().zip(grants) {
+            water_fill_into(self.upload_budget[idx], &demand_bytes, &mut grants);
+            for di in 0..demand.len() {
+                let (conn, to, remote_conn, _) = demand[di];
+                let grant = grants[di];
                 if grant == 0 {
                     continue;
                 }
                 if budgets[to] != u64::MAX {
                     budgets[to] -= grant.min(budgets[to]);
                 }
-                *self.peers[idx].head_credit.entry(conn).or_insert(0) += grant;
+                // The link may have been torn down by an earlier grant's
+                // engine reaction; credit on a gone link is simply lost
+                // (capacity was spent), as with the map-based state.
+                if let Some(slot) = self.peers[idx].link_mut(conn) {
+                    slot.head_credit += grant;
+                }
                 // Complete as many whole blocks as the credit covers.
-                loop {
-                    let Some(&head) = self.peers[idx].uploads.get(&conn).and_then(|q| q.front())
-                    else {
-                        self.peers[idx].head_credit.remove(&conn);
+                while let Some(slot) = self.peers[idx].link_mut(conn) {
+                    let Some(&head) = slot.queue.front() else {
+                        slot.head_credit = 0;
                         break;
                     };
-                    let credit = self.peers[idx].head_credit.get_mut(&conn).expect("present");
-                    if *credit < u64::from(head.length) {
+                    if slot.head_credit < u64::from(head.length) {
                         break;
                     }
-                    *credit -= u64::from(head.length);
-                    self.peers[idx]
-                        .uploads
-                        .get_mut(&conn)
-                        .expect("present")
-                        .pop_front();
+                    slot.head_credit -= u64::from(head.length);
+                    slot.queue.pop_front();
+                    self.queued_blocks[idx] -= 1;
                     self.deliver_block(now, idx, conn, to, remote_conn, head);
                 }
             }
         }
+        self.budget_scratch = budgets;
+        self.demand_scratch = demand;
+        self.demand_bytes = demand_bytes;
+        self.grant_scratch = grants;
     }
 
     fn deliver_block(
@@ -1081,9 +1223,8 @@ impl Swarm {
         );
         self.process_actions(now, from);
         let lat = self.peers[from]
-            .links
-            .get(&from_conn)
-            .map_or(self.spec.latency, |&(_, _, l)| l);
+            .link(from_conn)
+            .map_or(self.spec.latency, |s| s.latency);
         self.queue.schedule(
             now + lat,
             Ev::Deliver {
@@ -1097,7 +1238,9 @@ impl Swarm {
     /// Record a ground-truth replication snapshot over all live peers.
     fn sample_global_truth(&mut self, now: Instant) {
         let n = self.geometry.num_pieces() as usize;
-        let mut counts = vec![0u32; n];
+        let counts = &mut self.counts_scratch;
+        counts.clear();
+        counts.resize(n, 0);
         let mut live = 0u32;
         for p in &self.peers {
             if !p.alive {
@@ -1127,7 +1270,9 @@ impl Swarm {
 
     fn push_global_counts(&mut self) {
         let num = self.geometry.num_pieces() as usize;
-        let mut counts = vec![0u32; num];
+        let counts = &mut self.counts_scratch;
+        counts.clear();
+        counts.resize(num, 0);
         for p in &self.peers {
             if !p.alive {
                 continue;
@@ -1138,7 +1283,7 @@ impl Swarm {
         }
         for p in self.peers.iter_mut() {
             if p.alive {
-                p.engine.update_global_counts(&counts);
+                p.engine.update_global_counts(counts);
             }
         }
     }
@@ -1150,7 +1295,16 @@ impl Swarm {
 /// redistributed. Exposed for property tests; the transfer rounds use it
 /// every second.
 pub fn water_fill(budget: u64, demands: &[u64]) -> Vec<u64> {
-    let mut grants = vec![0u64; demands.len()];
+    let mut grants = Vec::new();
+    water_fill_into(budget, demands, &mut grants);
+    grants
+}
+
+/// [`water_fill`] into a caller-owned buffer, so the per-second transfer
+/// rounds allocate nothing.
+fn water_fill_into(budget: u64, demands: &[u64], grants: &mut Vec<u64>) {
+    grants.clear();
+    grants.resize(demands.len(), 0);
     let mut remaining = budget;
     let mut open: Vec<usize> = (0..demands.len()).filter(|&i| demands[i] > 0).collect();
     while remaining > 0 && !open.is_empty() {
@@ -1182,7 +1336,6 @@ pub fn water_fill(budget: u64, demands: &[u64]) -> Vec<u64> {
             open.retain(|&j| j != i);
         }
     }
-    grants
 }
 
 #[cfg(test)]

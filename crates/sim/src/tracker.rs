@@ -13,7 +13,7 @@ use bt_wire::peer_id::IpAddr;
 use bt_wire::tracker::{AnnounceEvent, AnnounceResponse, PeerEntry, ANNOUNCE_INTERVAL_SECS};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use std::collections::HashMap;
+use rand::Rng;
 
 /// Index of a peer in the swarm's peer table.
 pub type PeerIdx = usize;
@@ -26,9 +26,28 @@ struct Registered {
 }
 
 /// The tracker's view of one torrent.
+///
+/// Peer indices are dense (the swarm's peer-table indices), so the
+/// registry is a slot vector plus an unordered `live` list with an
+/// inverse position map: register, deregister, seed/leecher counts are
+/// all O(1), and announce responses sample from `live` directly.
 #[derive(Debug, Default)]
 pub struct SimTracker {
-    peers: HashMap<PeerIdx, Registered>,
+    /// Registration slots, indexed by `PeerIdx` (grown on demand).
+    regs: Vec<Option<Registered>>,
+    /// Registered peer indices, unordered within each region: seeds in
+    /// `live[..part]`, leechers in `live[part..]` (swap-maintained).
+    live: Vec<PeerIdx>,
+    /// `live_pos[idx]` = position of `idx` in `live`, when registered.
+    live_pos: Vec<Option<u32>>,
+    /// Seed/leecher partition point: `live[..part]` are the seeds.
+    part: usize,
+    /// Sample announce responses with an O(num_want) partial shuffle of
+    /// the `live` list instead of the legacy sort-shuffle-truncate over
+    /// every registered peer. Off by default: the legacy path's RNG draw
+    /// sequence is part of the golden-trace contract, so only mega-swarm
+    /// scenarios (which have no prior goldens) opt in.
+    pub scalable_sampling: bool,
     /// Announce tallies per event kind, mirroring real tracker statistics.
     pub started: u64,
     /// Number of `completed` announces observed.
@@ -45,17 +64,57 @@ impl SimTracker {
 
     /// Current number of seeds (`complete` in tracker responses).
     pub fn num_seeds(&self) -> u32 {
-        self.peers.values().filter(|p| p.is_seed).count() as u32
+        self.part as u32
     }
 
     /// Current number of leechers (`incomplete`).
     pub fn num_leechers(&self) -> u32 {
-        self.peers.values().filter(|p| !p.is_seed).count() as u32
+        (self.live.len() - self.part) as u32
     }
 
     /// Total registered peers.
     pub fn num_peers(&self) -> usize {
-        self.peers.len()
+        self.live.len()
+    }
+
+    fn swap_live(&mut self, a: usize, b: usize) {
+        self.live.swap(a, b);
+        self.live_pos[self.live[a]] = Some(a as u32);
+        self.live_pos[self.live[b]] = Some(b as u32);
+    }
+
+    /// Move a registered leecher into the seed region.
+    fn promote(&mut self, peer: PeerIdx) {
+        let pos = self.live_pos[peer].expect("registered") as usize;
+        debug_assert!(pos >= self.part);
+        self.swap_live(pos, self.part);
+        self.part += 1;
+    }
+
+    fn register(&mut self, peer: PeerIdx, r: Registered) {
+        if self.regs.len() <= peer {
+            self.regs.resize_with(peer + 1, || None);
+            self.live_pos.resize(peer + 1, None);
+        }
+        match self.regs[peer].replace(r) {
+            Some(old) => match (old.is_seed, r.is_seed) {
+                (false, true) => self.promote(peer),
+                (true, false) => {
+                    // Seed back to leecher (a restart from scratch).
+                    let pos = self.live_pos[peer].expect("registered") as usize;
+                    self.part -= 1;
+                    self.swap_live(pos, self.part);
+                }
+                _ => {}
+            },
+            None => {
+                self.live_pos[peer] = Some(self.live.len() as u32);
+                self.live.push(peer);
+                if r.is_seed {
+                    self.promote(peer);
+                }
+            }
+        }
     }
 
     /// Handle an announce. Returns the peer list (already round-tripped
@@ -78,26 +137,19 @@ impl SimTracker {
             AnnounceEvent::Periodic => {}
         }
         if matches!(event, AnnounceEvent::Stopped) {
-            self.peers.remove(&peer);
+            self.remove(peer);
             return None;
         }
-        self.peers.insert(peer, Registered { ip, port, is_seed });
+        self.register(peer, Registered { ip, port, is_seed });
 
         // Random sample of other peers. Seeds are not returned to seeds —
         // the standard deployed-tracker optimisation (a seed↔seed
         // connection carries nothing and both ends drop it immediately).
-        let mut others: Vec<PeerEntry> = self
-            .peers
-            .iter()
-            .filter(|(&idx, r)| idx != peer && !(is_seed && r.is_seed))
-            .map(|(_, r)| PeerEntry {
-                ip: r.ip,
-                port: r.port,
-            })
-            .collect();
-        others.sort_by_key(|p| (p.ip, p.port)); // determinism before shuffle
-        others.shuffle(rng);
-        others.truncate(num_want);
+        let others = if self.scalable_sampling {
+            self.sample_scalable(peer, is_seed, num_want, rng)
+        } else {
+            self.sample_legacy(peer, is_seed, num_want, rng)
+        };
 
         let response = AnnounceResponse {
             interval: ANNOUNCE_INTERVAL_SECS,
@@ -110,17 +162,110 @@ impl SimTracker {
         Some(AnnounceResponse::decode_compact(&encoded).expect("self-encoded response decodes"))
     }
 
+    /// The original sampling: materialise every eligible peer, sort for
+    /// determinism, full Fisher–Yates shuffle, truncate. O(n log n) per
+    /// announce and exactly the RNG draw sequence the golden traces pin.
+    fn sample_legacy(
+        &self,
+        peer: PeerIdx,
+        is_seed: bool,
+        num_want: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<PeerEntry> {
+        let mut others: Vec<PeerEntry> = self
+            .live
+            .iter()
+            .map(|&idx| (idx, self.regs[idx].expect("live peers are registered")))
+            .filter(|&(idx, r)| idx != peer && !(is_seed && r.is_seed))
+            .map(|(_, r)| PeerEntry {
+                ip: r.ip,
+                port: r.port,
+            })
+            .collect();
+        others.sort_by_key(|p| (p.ip, p.port)); // determinism before shuffle
+        others.shuffle(rng);
+        others.truncate(num_want);
+        others
+    }
+
+    /// Scalable sampling: rejection-sample distinct positions uniformly
+    /// from the eligible region of `live` — the whole list for a leecher,
+    /// the leecher region for a seed (seed↔seed is never returned). Cost
+    /// is O(num_want) expected, independent of swarm size, and `live` is
+    /// never reordered. The draw-attempt cap guarantees termination when
+    /// the region is barely larger than `num_want` (the response may then
+    /// miss a few eligible peers — the next announce redraws). The draw
+    /// sequence is a pure function of the announce history, so runs stay
+    /// byte-identical; it *differs* from the legacy path, which is why
+    /// this is opt-in per scenario.
+    fn sample_scalable(
+        &mut self,
+        peer: PeerIdx,
+        is_seed: bool,
+        num_want: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<PeerEntry> {
+        // Seeds draw from the leecher region only.
+        let lo = if is_seed { self.part } else { 0 };
+        let region = self.live.len() - lo;
+        let in_region = self.live_pos[peer].is_some_and(|p| p as usize >= lo);
+        let eligible = region - usize::from(in_region);
+        let target = num_want.min(eligible);
+        let mut out = Vec::with_capacity(target);
+        let mut drawn: Vec<u32> = Vec::with_capacity(target);
+        let mut attempts = 0usize;
+        let cap = 16 + 8 * num_want;
+        while out.len() < target && attempts < cap {
+            attempts += 1;
+            let j = lo + rng.random_range(0..region);
+            let j32 = j as u32;
+            if drawn.contains(&j32) {
+                continue;
+            }
+            drawn.push(j32);
+            let idx = self.live[j];
+            if idx == peer {
+                continue;
+            }
+            let r = self.regs[idx].expect("live peers are registered");
+            out.push(PeerEntry {
+                ip: r.ip,
+                port: r.port,
+            });
+        }
+        out
+    }
+
     /// Mark a peer as having become a seed without a full announce (used
     /// when the simulator observes the transition directly).
     pub fn mark_seed(&mut self, peer: PeerIdx) {
-        if let Some(r) = self.peers.get_mut(&peer) {
-            r.is_seed = true;
+        match self.regs.get_mut(peer).and_then(|r| r.as_mut()) {
+            Some(r) if !r.is_seed => {
+                r.is_seed = true;
+                self.promote(peer);
+            }
+            _ => {}
         }
     }
 
     /// Remove a peer (departure without a clean `stopped` announce).
     pub fn remove(&mut self, peer: PeerIdx) {
-        self.peers.remove(&peer);
+        let Some(old) = self.regs.get_mut(peer).and_then(|r| r.take()) else {
+            return;
+        };
+        let mut at = self.live_pos[peer].expect("registered peers are live") as usize;
+        if old.is_seed {
+            // Slide to the seed-region boundary, shrink the region, then
+            // the vacated slot sits at the start of the leecher region.
+            self.part -= 1;
+            self.swap_live(at, self.part);
+            at = self.part;
+        }
+        self.live_pos[peer] = None;
+        self.live.swap_remove(at);
+        if at < self.live.len() {
+            self.live_pos[self.live[at]] = Some(at as u32);
+        }
     }
 }
 

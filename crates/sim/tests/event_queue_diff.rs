@@ -1,0 +1,143 @@
+//! Differential tests: the calendar [`EventQueue`] against the
+//! single-`BinaryHeap` [`HeapEventQueue`] reference.
+//!
+//! The simulator's determinism contract is "pop order is exactly
+//! (time, seq) ascending" — the calendar queue only exists to make that
+//! order cheap at mega-swarm scale. These tests drive both queues with
+//! identical schedule/pop interleavings — including same-instant ties,
+//! pushes landing mid-drain at the just-popped instant, peeks that
+//! rotate the calendar window, and offsets that straddle the wheel's
+//! overflow horizon — and require identical `(time, payload)` streams
+//! and identical `now()`/`len()` evolution throughout.
+
+use bt_sim::{EventQueue, HeapEventQueue};
+use bt_wire::time::Instant;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `now + offset` µs. Offsets mix sub-slot values, exact
+    /// slot boundaries, multi-slot gaps, and beyond-horizon jumps.
+    Push(u64),
+    /// Schedule `n` events at the same instant (`now + offset`).
+    PushTies(u64, u8),
+    /// Pop one event.
+    Pop,
+    /// Pop one event, then immediately schedule at the popped instant —
+    /// the push-during-pop case that must still fire before anything
+    /// later.
+    PopThenPushAtNow,
+    /// Peek (may rotate the calendar window; must not perturb order).
+    Peek,
+}
+
+fn arb_offset() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..2_000,                     // within a slot or two
+        2 => 1_020u64..1_030,                 // straddling a slot boundary
+        2 => 100_000u64..4_000_000,           // deep into the wheel
+        1 => 4_194_304u64..20_000_000,        // past the 4 s overflow horizon
+        1 => Just(0u64),                      // exactly now
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => arb_offset().prop_map(Op::Push),
+        2 => (arb_offset(), 2u8..6).prop_map(|(o, n)| Op::PushTies(o, n)),
+        4 => Just(Op::Pop),
+        1 => Just(Op::PopThenPushAtNow),
+        1 => Just(Op::Peek),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any interleaving of schedules, pops, peeks and same-instant
+    /// re-schedules produces identical pop streams from both queues.
+    #[test]
+    fn calendar_matches_heap(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut cal: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        let mut next_id: u32 = 0;
+
+        for op in ops {
+            match op {
+                Op::Push(off) => {
+                    let at = Instant(cal.now().0 + off);
+                    cal.schedule(at, next_id);
+                    heap.schedule(at, next_id);
+                    next_id += 1;
+                }
+                Op::PushTies(off, n) => {
+                    let at = Instant(cal.now().0 + off);
+                    for _ in 0..n {
+                        cal.schedule(at, next_id);
+                        heap.schedule(at, next_id);
+                        next_id += 1;
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+                Op::PopThenPushAtNow => {
+                    let popped = cal.pop();
+                    prop_assert_eq!(popped, heap.pop());
+                    if popped.is_some() {
+                        // Same instant as the event just delivered: must
+                        // sort after it (higher seq) but before anything
+                        // at a later time.
+                        let at = cal.now();
+                        cal.schedule(at, next_id);
+                        heap.schedule(at, next_id);
+                        next_id += 1;
+                    }
+                }
+                Op::Peek => {
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                }
+            }
+            prop_assert_eq!(cal.now(), heap.now());
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.is_empty(), heap.is_empty());
+        }
+
+        // Drain whatever is left: the full residual streams must match.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Heavy same-instant contention: many events at few distinct times
+    /// pop in exact insertion (seq) order from both queues.
+    #[test]
+    fn tie_storms_stay_fifo(
+        times in proptest::collection::vec(0u64..5_000_000, 1..6),
+        per_time in 1usize..40,
+    ) {
+        let mut cal: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        let mut id = 0u32;
+        // Interleave the tie groups so insertion order crosses times.
+        for round in 0..per_time {
+            for &t in &times {
+                let _ = round;
+                cal.schedule(Instant(t), id);
+                heap.schedule(Instant(t), id);
+                id += 1;
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

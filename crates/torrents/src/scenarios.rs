@@ -75,6 +75,39 @@ pub fn flash_crowd(leechers: usize, opts: &PresetOptions) -> SwarmSpec {
     spec
 }
 
+/// A mega-swarm flash crowd: one fresh seed and `leechers` empty peers
+/// arriving within the first minute, tuned so peer count is the only
+/// scale axis. Content is small (`opts.pieces` × 64 kB), per-peer
+/// connectivity is capped well below the mainline defaults, the tracker
+/// rations its responses and uses the O(num_want) sampling path, peers
+/// seed briefly after completing, and nothing is instrumented. This is
+/// the shape behind the `flash_crowd_10k` / `flash_crowd_100k` scenarios.
+pub fn mega_flash_crowd(leechers: usize, opts: &PresetOptions) -> SwarmSpec {
+    let mut config = opts.config.clone();
+    config.max_peer_set = 12;
+    config.min_peer_set = 4;
+    config.max_initiated = 6;
+    let mut peers = Vec::with_capacity(leechers + 1);
+    peers.push(BehaviorProfile::seed());
+    for i in 0..leechers {
+        let mut p = dsl_leecher(i as u64 % 60);
+        p.seed_linger = Some(Duration::from_secs(180));
+        peers.push(p);
+    }
+    SwarmSpec {
+        seed: opts.seed,
+        total_len: u64::from(opts.pieces) * 64 * 1024,
+        piece_len: 64 * 1024,
+        duration: opts.duration,
+        base_config: config,
+        peers,
+        available_fraction: 0.0,
+        tracker_response_cap: Some(10),
+        scalable_tracker: true,
+        ..SwarmSpec::default()
+    }
+}
+
 /// A steady-state swarm: `seeds` seeds plus a prepopulated leecher
 /// population with ongoing arrivals; a fresh instrumented peer joins at
 /// `join_secs`. The paper's torrent-7 regime in miniature.

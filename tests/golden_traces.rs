@@ -15,6 +15,7 @@
 //! BT_UPDATE_GOLDEN=1 cargo test --test golden_traces
 //! ```
 
+use bt_repro::sim::Swarm;
 use bt_repro::torrents::{run_scenario, torrent, RunConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -54,12 +55,36 @@ fn fingerprint(id: u32) -> String {
     )
 }
 
+/// Mega-swarm golden: the 10k-peer flash crowd (seed 42), fingerprinted
+/// by [`bt_repro::sim::SwarmResult::digest`] since the mega presets run
+/// uninstrumented (no per-event trace at that scale). This pins the
+/// scalable tracker path, the calendar event queue, and the pooled
+/// per-peer round state the same way the trace hashes pin the legacy
+/// path.
+fn mega_fingerprint() -> String {
+    let opts = bt_repro::torrents::PresetOptions {
+        seed: 42,
+        pieces: 8,
+        duration: bt_repro::wire::time::Duration::from_secs(900),
+        ..Default::default()
+    };
+    let spec = bt_repro::torrents::scenarios::mega_flash_crowd(10_000, &opts);
+    let result = Swarm::new(spec).run();
+    format!(
+        "scenario=flash_crowd_10k events={} completed={} digest={:016x}",
+        result.events_processed,
+        result.completed_peers,
+        result.digest()
+    )
+}
+
 #[test]
 fn golden_trace_fingerprints_match_fixture() {
     let mut actual = String::new();
     for id in GOLDEN_IDS {
         writeln!(actual, "{}", fingerprint(id)).unwrap();
     }
+    writeln!(actual, "{}", mega_fingerprint()).unwrap();
     let path = fixture_path();
     if std::env::var_os("BT_UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
