@@ -11,6 +11,7 @@
 //! | [`fairness`] | 9, 11 (upload/download contribution by peer sets) |
 //! | [`unchoke`] | 10 (unchokes vs. interested time) |
 //! | [`transient`] | §IV-A.2's transient-duration and seed-rate claims |
+//! | [`live`] | the same invariants, watched online while a swarm runs |
 //!
 //! [`stats`] and [`intervals`] provide the underlying CDF/percentile and
 //! boolean-interval machinery.
@@ -24,6 +25,7 @@ pub mod equilibrium;
 pub mod fairness;
 pub mod interarrival;
 pub mod intervals;
+pub mod live;
 pub mod messages;
 pub mod replication;
 pub mod stats;
@@ -37,6 +39,9 @@ pub use entropy::{entropy, EntropySummary, PeerRatios, MIN_MEMBERSHIP_SECS};
 pub use equilibrium::{equilibrium, EquilibriumSummary};
 pub use fairness::{fairness, FairnessSummary, StateWindow, NUM_SETS, SET_SIZE};
 pub use interarrival::{InterarrivalAnalysis, SUBSET};
+pub use live::{
+    availability_entropy, HealthMonitor, HealthReport, LiveSample, MonitorVerdict, Thresholds,
+};
 pub use messages::{KindCount, MessageStats};
 pub use replication::{ReplicationPoint, ReplicationSeries};
 pub use stats::{mean, percentiles, Cdf, Percentiles};

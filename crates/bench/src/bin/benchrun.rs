@@ -5,14 +5,19 @@
 //! ```
 //!
 //! Runs five workloads and writes one machine-readable JSON report
-//! (default `BENCH_PR6.json`, for the repo's perf trajectory):
+//! (default `BENCH_PR7.json`, for the repo's perf trajectory):
 //!
 //! 1. **Simulator throughput** — the Table I sweep at seed 42 on 1 and
 //!    8 workers (`--quick`: a 3-torrent subset), reported as events/sec;
 //! 2. **Mega-swarm throughput** — the `flash_crowd_10k` scenario
 //!    (`--quick`: 2k peers), reported as events/sec — the headline the
 //!    bucketed availability index, calendar event queue, partitioned
-//!    tracker, and pooled round state exist for;
+//!    tracker, and pooled round state exist for. The same swarm then
+//!    re-runs with the full observatory attached (metrics registry,
+//!    time-series, health monitors); the extra wall time is the
+//!    `obs_overhead_pct` headline, and every completion time and
+//!    tracker tally must match the bare run — observation that perturbs
+//!    the swarm's behaviour fails the suite;
 //! 3. **Transport throughput** — a loopback `--net` swarm over real
 //!    TCP, reported as framed bytes/sec;
 //! 4. **Microbenches** — wire encode/decode and the rarest-first pick
@@ -23,9 +28,11 @@
 //!
 //! `--compare FILE` re-reads a previous report and exits non-zero if
 //! any headline throughput regressed more than 15 % (current <
-//! 0.85 × baseline). Workloads are deterministic; wall times are not —
-//! committed baselines should be relaxed (halved) so slower CI machines
-//! pass.
+//! 0.85 × baseline). `obs_overhead_pct` is the one lower-is-better
+//! headline: it regresses when the overhead grows more than 15
+//! percentage points over baseline. Workloads are deterministic; wall
+//! times are not — committed baselines should be relaxed (halved, and
+//! the overhead ceiling raised) so slower CI machines pass.
 
 use bt_obs::{Profiler, TimeSource};
 use bt_piece::{Availability, Bitfield, PickContext, PickerKind};
@@ -41,6 +48,10 @@ use std::collections::BTreeMap;
 
 /// A headline regresses when it falls below this fraction of baseline.
 const REGRESSION_FLOOR: f64 = 0.85;
+
+/// `obs_overhead_pct` (lower is better) regresses when it grows more
+/// than this many percentage points over baseline.
+const OVERHEAD_SLACK_POINTS: f64 = 15.0;
 
 /// Build an object `Value` from literal key/value pairs.
 fn obj(entries: Vec<(&str, Value)>) -> Value {
@@ -75,7 +86,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let compare = flag_str("--compare");
 
     let report = run_suite(quick);
@@ -152,6 +163,40 @@ fn run_suite(quick: bool) -> Value {
     let mega_eps = mega.events_processed as f64 / mega_wall.max(1e-9);
     let mega_digest = format!("{:016x}", mega.digest());
 
+    // The same flash crowd with the full observatory attached: what does
+    // watching cost, and does it perturb the run? (It must not.)
+    eprintln!("[2/5] mega flash crowd again, observatory on ...");
+    let obs_spec = bt_torrents::scenarios::mega_flash_crowd(mega_peers, &mega_opts);
+    let registry = bt_obs::Registry::new_manual();
+    let store = bt_obs::SeriesStore::new(&registry);
+    let t0 = std::time::Instant::now();
+    let mega_obs = Swarm::new(obs_spec)
+        .with_metrics(registry)
+        .with_series(store)
+        .with_health(Default::default())
+        .run();
+    let obs_wall = t0.elapsed().as_secs_f64();
+    let obs_overhead_pct = (obs_wall - mega_wall) / mega_wall.max(1e-9) * 100.0;
+    // Sampling adds `Ev::Sample` entries to the event count (this preset
+    // has no instrumented local peer, so the bare run schedules none),
+    // but must not change what the swarm *does*: every completion time
+    // and tracker tally has to match the bare run exactly.
+    if mega_obs.completion != mega.completion
+        || mega_obs.tracker_started != mega.tracker_started
+        || mega_obs.tracker_completed != mega.tracker_completed
+    {
+        eprintln!(
+            "benchrun: observatory perturbed the swarm: {}/{} completions, {}/{} started, {}/{} completed announces",
+            mega_obs.completed_peers,
+            mega.completed_peers,
+            mega_obs.tracker_started,
+            mega.tracker_started,
+            mega_obs.tracker_completed,
+            mega.tracker_completed
+        );
+        std::process::exit(1);
+    }
+
     // 3. Loopback TCP throughput.
     eprintln!("[3/5] loopback net swarm ...");
     let pieces: u64 = if quick { 32 } else { 128 };
@@ -209,6 +254,7 @@ fn run_suite(quick: bool) -> Value {
         ("sim_events_per_sec_jobs1", Value::Float(sim_eps[0])),
         ("sim_events_per_sec_jobs8", Value::Float(sim_eps[1])),
         ("sim_events_per_sec_10k_peers", Value::Float(mega_eps)),
+        ("obs_overhead_pct", Value::Float(obs_overhead_pct)),
         ("net_bytes_per_sec", Value::Float(net_bps)),
         (
             "wire_encode_bytes_per_sec",
@@ -251,6 +297,8 @@ fn run_suite(quick: bool) -> Value {
                     obj(vec![
                         ("peers", Value::PosInt(mega_peers as u64)),
                         ("wall_secs", Value::Float(mega_wall)),
+                        ("obs_wall_secs", Value::Float(obs_wall)),
+                        ("obs_overhead_pct", Value::Float(obs_overhead_pct)),
                         ("events", Value::PosInt(mega.events_processed)),
                         (
                             "completed_peers",
@@ -419,6 +467,19 @@ fn compare_to_baseline(report: &Value, baseline_path: &str) -> Vec<String> {
             regressions.push(format!("{key}: missing from current report"));
             continue;
         };
+        if key == "obs_overhead_pct" {
+            // Lower is better, and the sign is meaningful (noise can
+            // drive it slightly negative): regress on growth beyond
+            // `OVERHEAD_SLACK_POINTS` percentage points over baseline.
+            if cur > base + OVERHEAD_SLACK_POINTS {
+                regressions.push(format!(
+                    "{key}: {cur:.1}% overhead exceeds baseline {base:.1}% + {OVERHEAD_SLACK_POINTS:.0} points"
+                ));
+            } else {
+                println!("compare {key:<28} {cur:.1}% (baseline {base:.1}%)");
+            }
+            continue;
+        }
         if base > 0.0 && cur < base * REGRESSION_FLOOR {
             regressions.push(format!(
                 "{key}: {cur:.3e} is {:.1}% of baseline {base:.3e} (floor {:.0}%)",

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl]
-//!          [--profile out.json] [--status] [--example]
+//!          [--series out.json] [--watch-addr 127.0.0.1:PORT]
+//!          [--watch-linger SECS] [--profile out.json] [--status] [--example]
 //! swarmrun --scenario NAME [--peers N] [--seed N] [--metrics out.jsonl]
-//!          [--profile out.json] [--status]
-//! swarmrun --table1 [--quick] [--seed N] [--jobs N] [--profile out.json]
+//!          [--series out.json] [--watch-addr ADDR] [--profile out.json]
+//!          [--status]
+//! swarmrun --table1 [--quick] [--seed N] [--jobs N] [--series out.json]
+//!          [--profile out.json]
 //! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N]
-//!          [--trace out.jsonl] [--metrics out.jsonl] [--profile out.json]
-//!          [--metrics-addr 127.0.0.1:PORT] [--status]
+//!          [--trace out.jsonl] [--metrics out.jsonl] [--series out.json]
+//!          [--profile out.json] [--watch-addr 127.0.0.1:PORT] [--status]
 //! ```
 //!
 //! * `--scenario NAME` runs a named preset instead of a spec file:
@@ -25,13 +28,23 @@
 //!   byte-identical for a given spec and seed; `--net` runs sample a
 //!   shared wall-clock registry periodically. If the run panics, a
 //!   drop guard still flushes a final snapshot to the file;
+//! * `--series FILE` writes the observatory time-series as JSON: per-key
+//!   `[t_micros, value]` rings sampled once per metrics period, plus the
+//!   `live.*` health series. Simulator and `--table1` series use the
+//!   virtual clock (byte-identical for a given spec and seed, any
+//!   `--jobs`); `--net` series sample the shared wall-clock registry;
 //! * `--profile FILE` attaches a span profiler, writes the aggregated
 //!   call-tree profile as JSON and prints the pretty report. Simulator
 //!   and `--table1` profiles use the virtual clock (byte-identical for
 //!   a given seed, any `--jobs`); `--net` profiles measure wall time;
-//! * `--metrics-addr ADDR` (net mode) serves the live registry as
-//!   Prometheus text at `http://ADDR/metrics` for the duration of the
-//!   run (port 0 picks an ephemeral port, printed on stderr);
+//! * `--watch-addr ADDR` serves the live observatory over HTTP for the
+//!   duration of the run — `GET /` (dashboard), `/series`, `/health`,
+//!   `/metrics` — in both simulator and `--net` modes (a polling thread
+//!   snapshots the registry while the run proceeds; port 0 picks an
+//!   ephemeral port, printed on stderr). `--metrics-addr` is the old
+//!   name and still works. Simulated runs exit when the event queue
+//!   drains; `--watch-linger SECS` keeps the endpoint up that much
+//!   longer so a browser or CI curl can still scrape the final state;
 //! * `--status` shows live one-line progress on stderr (net mode; the
 //!   simulator replays its sampled status lines after the run). When
 //!   stderr is not a terminal each sample becomes its own line instead
@@ -79,10 +92,17 @@ fn main() {
     }
     // Flag values double as positional-arg lookalikes; skip them when
     // searching for the spec path.
-    let flag_values: Vec<usize> = ["--trace", "--metrics", "--profile"]
-        .iter()
-        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
-        .collect();
+    let flag_values: Vec<usize> = [
+        "--trace",
+        "--metrics",
+        "--series",
+        "--profile",
+        "--watch-addr",
+        "--watch-linger",
+    ]
+    .iter()
+    .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+    .collect();
     let Some(path) = args
         .iter()
         .enumerate()
@@ -90,7 +110,7 @@ fn main() {
         .map(|(_, a)| a)
     else {
         eprintln!(
-            "usage: swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--profile out.json] [--status] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--profile out.json] [--metrics-addr ADDR] [--status]"
+            "usage: swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--watch-addr ADDR] [--watch-linger SECS] [--profile out.json] [--status] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--series out.json] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--profile out.json] [--watch-addr ADDR] [--status]"
         );
         std::process::exit(2);
     };
@@ -147,7 +167,10 @@ fn scenario_spec(name: &str, args: &[String]) -> SwarmSpec {
 fn run_sim(spec: SwarmSpec, args: &[String]) {
     let trace_out = flag_str(args, "--trace");
     let metrics_out = flag_str(args, "--metrics");
+    let series_out = flag_str(args, "--series");
     let profile_out = flag_str(args, "--profile");
+    let watch_addr = flag_str(args, "--watch-addr").or_else(|| flag_str(args, "--metrics-addr"));
+    let watch_linger = flag_u64(args, "--watch-linger").unwrap_or(0);
     let status = args.iter().any(|a| a == "--status");
     let peers = spec.peers.len();
     let piece_len = spec.piece_len;
@@ -159,11 +182,24 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
     );
     let local = spec.local;
     let mut swarm = Swarm::new(spec);
-    let registry = (metrics_out.is_some() || status).then(Registry::new_manual);
+    let registry =
+        (metrics_out.is_some() || series_out.is_some() || watch_addr.is_some() || status)
+            .then(Registry::new_manual);
     if let Some(reg) = &registry {
         // Virtual-clock registry: the snapshot file is a deterministic
         // function of the spec and seed.
         swarm = swarm.with_metrics(reg.clone());
+        // The observatory rides the same sampling events: time-series
+        // rings and the paper-invariant health monitors, both equally
+        // deterministic.
+        swarm = swarm.with_health(bt_analysis::live::Thresholds::default());
+    }
+    let series = match (&registry, series_out.is_some() || watch_addr.is_some()) {
+        (Some(reg), true) => Some(bt_obs::SeriesStore::new(reg)),
+        _ => None,
+    };
+    if let Some(store) = &series {
+        swarm = swarm.with_series(store.clone());
     }
     // If the run panics, unwinding still flushes a final snapshot.
     let mut flush_guard = match (&registry, &metrics_out) {
@@ -173,9 +209,52 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
     if profile_out.is_some() {
         swarm = swarm.with_profiler(Profiler::new(TimeSource::manual()));
     }
+
+    // `--watch-addr`: the simulator itself is synchronous, so the
+    // observatory serves from a polling thread that snapshots the shared
+    // registry while the event loop runs on this one. Gauges lag the
+    // virtual clock by at most one sampling period; the dashboard,
+    // `/series`, `/health` and `/metrics` are all live mid-run.
+    let server_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let server = watch_addr.as_ref().map(|addr| {
+        let reg = registry.clone().expect("watch-addr forces a registry");
+        let mut server = bt_net::ObsServer::bind(addr, reg).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        });
+        if let Some(store) = &series {
+            server = server.with_series(store.clone());
+        }
+        let monitor = swarm.health_monitor().cloned();
+        if let Some(m) = monitor {
+            server = server.with_health_json(move || m.report().to_json());
+        }
+        match server.local_addr() {
+            Ok(bound) => eprintln!("observatory      : http://{bound}/ (dashboard)"),
+            Err(e) => eprintln!("swarmrun: observatory bound, address unknown: {e}"),
+        }
+        let stop = std::sync::Arc::clone(&server_stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if !server.poll() {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        })
+    });
+
     let t0 = std::time::Instant::now();
     let result = swarm.run();
     let wall = t0.elapsed();
+
+    if server.is_some() && watch_linger > 0 {
+        eprintln!("observatory      : lingering {watch_linger} s after the run (Ctrl-C to stop)");
+        std::thread::sleep(std::time::Duration::from_secs(watch_linger));
+    }
+    server_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = server {
+        let _ = handle.join();
+    }
 
     if status {
         // The simulator runs synchronously in virtual time; replay the
@@ -198,6 +277,16 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         if let Some(last) = result.metrics.last() {
             print!("{}", summary_text(last));
         }
+    }
+    if let (Some(path), Some(store)) = (&series_out, &series) {
+        std::fs::write(path, store.to_json(None)).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("series written   : {path} ({} series)", store.len());
+    }
+    if let Some(health) = &result.health {
+        println!("health           : {}", health.summary_line());
     }
     if let Some(path) = &profile_out {
         write_profile(path, result.profile.as_ref().unwrap_or(&Profile::default()));
@@ -287,8 +376,9 @@ fn run_net_swarm(args: &[String]) {
     };
     let trace_out = flag_str(args, "--trace");
     let metrics_out = flag_str(args, "--metrics");
+    let series_out = flag_str(args, "--series");
     let profile_out = flag_str(args, "--profile");
-    let metrics_addr = flag_str(args, "--metrics-addr");
+    let watch_addr = flag_str(args, "--watch-addr").or_else(|| flag_str(args, "--metrics-addr"));
     let status = args.iter().any(|a| a == "--status");
     let mut spec = LoopbackSpec::default();
     if let Some(n) = flag_value("--seeds") {
@@ -304,8 +394,15 @@ fn run_net_swarm(args: &[String]) {
         spec.seed = n;
     }
     let registry =
-        (metrics_out.is_some() || status || metrics_addr.is_some()).then(Registry::new_wall);
+        (metrics_out.is_some() || series_out.is_some() || status || watch_addr.is_some())
+            .then(Registry::new_wall);
     spec.metrics = registry.clone();
+    // Net runs have no virtual clock; the series sample on the wall
+    // clock, once per sampler tick.
+    let series = match (&registry, series_out.is_some() || watch_addr.is_some()) {
+        (Some(reg), true) => Some(bt_obs::SeriesStore::new(reg)),
+        _ => None,
+    };
     let profiler = profile_out
         .as_ref()
         .map(|_| Profiler::new(TimeSource::wall()));
@@ -323,18 +420,21 @@ fn run_net_swarm(args: &[String]) {
         _ => None,
     };
 
-    // `--metrics-addr`: serve `GET /metrics` for the run's duration
-    // from a dedicated polling thread.
+    // `--watch-addr`: serve the observatory for the run's duration from
+    // a dedicated polling thread.
     let server_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let server = metrics_addr.as_ref().map(|addr| {
-        let reg = registry.clone().expect("metrics-addr forces a registry");
-        let mut server = bt_net::MetricsServer::bind(addr, reg).unwrap_or_else(|e| {
+    let server = watch_addr.as_ref().map(|addr| {
+        let reg = registry.clone().expect("watch-addr forces a registry");
+        let mut server = bt_net::ObsServer::bind(addr, reg).unwrap_or_else(|e| {
             eprintln!("swarmrun: cannot bind {addr}: {e}");
             std::process::exit(2);
         });
+        if let Some(store) = &series {
+            server = server.with_series(store.clone());
+        }
         match server.local_addr() {
-            Ok(bound) => eprintln!("metrics endpoint : http://{bound}/metrics"),
-            Err(e) => eprintln!("swarmrun: metrics endpoint bound, address unknown: {e}"),
+            Ok(bound) => eprintln!("observatory      : http://{bound}/ (dashboard)"),
+            Err(e) => eprintln!("swarmrun: observatory bound, address unknown: {e}"),
         }
         let stop = std::sync::Arc::clone(&server_stop);
         std::thread::spawn(move || {
@@ -347,11 +447,13 @@ fn run_net_swarm(args: &[String]) {
     });
 
     // Sampler thread: every 250 ms wall, snapshot the shared registry —
-    // append a JSONL line, update the one-line status display.
+    // append a JSONL line, extend the time-series, update the one-line
+    // status display.
     let sampler_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let sampler = registry.clone().map(|reg| {
         let stop = std::sync::Arc::clone(&sampler_stop);
         let out_path = metrics_out.clone();
+        let store = series.clone();
         std::thread::spawn(move || {
             let mut out = out_path.map(|p| {
                 std::fs::File::create(&p).unwrap_or_else(|e| {
@@ -362,6 +464,9 @@ fn run_net_swarm(args: &[String]) {
             let mut line = StatusLine::new();
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 std::thread::sleep(std::time::Duration::from_millis(250));
+                if let Some(s) = &store {
+                    s.sample_registry();
+                }
                 let snap = reg.snapshot();
                 if let Some(f) = out.as_mut() {
                     let _ = writeln!(f, "{}", snap.to_jsonl_line());
@@ -403,6 +508,15 @@ fn run_net_swarm(args: &[String]) {
             println!("metrics written  : {path}");
         }
         print!("{}", summary_text(&last));
+    }
+    if let (Some(path), Some(store)) = (&series_out, &series) {
+        // One last sample so the file reflects the final state.
+        store.sample_registry();
+        std::fs::write(path, store.to_json(None)).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("series written   : {path} ({} series)", store.len());
     }
     if let (Some(path), Some(prof)) = (&profile_out, &profiler) {
         write_profile(path, &prof.snapshot());
@@ -488,6 +602,8 @@ fn run_table1_sweep(args: &[String]) {
         .unwrap_or_else(bt_torrents::default_jobs);
     let profile_out = flag_str(args, "--profile");
     cfg.profile = profile_out.is_some();
+    let series_out = flag_str(args, "--series");
+    cfg.series = series_out.is_some();
 
     eprintln!("running the 26-torrent Table I sweep ({jobs} jobs) ...");
     let t0 = std::time::Instant::now();
@@ -519,6 +635,35 @@ fn run_table1_sweep(args: &[String]) {
         outcomes.len(),
         t0.elapsed()
     );
+    if let Some(path) = &series_out {
+        // One JSON object keyed by torrent label, in Table I order; each
+        // per-scenario document is deterministic, so the whole file is
+        // byte-identical for any `--jobs`.
+        let mut text = String::from("{");
+        for (i, o) in outcomes.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            let doc = o.series.as_deref().unwrap_or("{\"series\":[]}");
+            text.push_str(&format!("\"{}\":{doc}", o.spec.label()));
+        }
+        text.push('}');
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("series written   : {path} ({} torrents)", outcomes.len());
+        let unhealthy: Vec<u32> = outcomes
+            .iter()
+            .filter(|o| o.result.health.as_ref().is_some_and(|h| !h.healthy()))
+            .map(|o| o.spec.id)
+            .collect();
+        if unhealthy.is_empty() {
+            println!("health           : all torrents healthy at session end");
+        } else {
+            println!("health           : unhealthy at session end: {unhealthy:?}");
+        }
+    }
     if let Some(path) = &profile_out {
         // Each scenario profiled its own manual clock; merging in Table
         // I order (the `outcomes` order) is commutative sums, so the
@@ -539,6 +684,16 @@ fn flag_str(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// The integer value following `name`, if present.
+fn flag_u64(args: &[String], name: &str) -> Option<u64> {
+    flag_str(args, name).map(|v| {
+        v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("swarmrun: {name} needs an integer");
+            std::process::exit(2);
+        })
+    })
 }
 
 /// Write a span profile as JSON and print the pretty report.

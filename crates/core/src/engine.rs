@@ -150,6 +150,25 @@ pub struct Engine {
     trace: Option<Trace>,
     metrics: Option<EngineMetrics>,
     profiler: Profiler,
+    /// Outcome of the most recent [`rechoke`](Engine::rechoke) round,
+    /// for live observers (`None` before the first round).
+    last_choke_round: Option<ChokeRoundStats>,
+}
+
+/// What one [`Engine::rechoke`] round did, from the engine's local
+/// view — the per-round hook behind the `core.choke.*` counters and
+/// the live health monitors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChokeRoundStats {
+    /// When the round ran.
+    pub at: Instant,
+    /// Choke-state changes sent this round (chokes + unchokes).
+    pub flips: u32,
+    /// Connections left unchoked after the round.
+    pub unchoked: u32,
+    /// Unchoked connections whose peer also unchokes us (local
+    /// tit-for-tat view).
+    pub reciprocal: u32,
 }
 
 impl std::fmt::Debug for Engine {
@@ -246,6 +265,7 @@ impl Engine {
             trace: recorder.map(Trace::new),
             metrics,
             profiler,
+            last_choke_round: None,
         }
     }
 
@@ -1226,6 +1246,7 @@ impl Engine {
         let desired: HashSet<ConnId> = decision.unchoked().into_iter().collect();
         let mut all: Vec<ConnId> = self.conns.keys().copied().collect();
         all.sort_unstable();
+        let mut flips = 0u32;
         for id in all {
             let currently_unchoked = !self.conns[&id].am_choking;
             if desired.contains(&id) && !currently_unchoked {
@@ -1245,6 +1266,7 @@ impl Engine {
                     c.am_choking = false;
                     c.last_unchoked = Some(now);
                 }
+                flips += 1;
                 self.send(now, id, Message::Unchoke);
                 self.record(
                     now,
@@ -1256,6 +1278,7 @@ impl Engine {
                 );
             } else if !desired.contains(&id) && currently_unchoked {
                 self.conns.get_mut(&id).expect("present").am_choking = true;
+                flips += 1;
                 self.send(now, id, Message::Choke);
                 self.record(
                     now,
@@ -1271,11 +1294,37 @@ impl Engine {
             // *granted* an unchoke, so kept peers age and each new SRU
             // "tak[es] an unchoke slot off the oldest SKU peer" (§II-C.2).
         }
+        let mut unchoked = 0u32;
+        let mut reciprocal = 0u32;
+        for c in self.conns.values() {
+            if !c.am_choking {
+                unchoked += 1;
+                if !c.peer_choking {
+                    reciprocal += 1;
+                }
+            }
+        }
+        self.last_choke_round = Some(ChokeRoundStats {
+            at: now,
+            flips,
+            unchoked,
+            reciprocal,
+        });
         if let (Some(m), Some(t0)) = (&self.metrics, round_started) {
+            m.choke_rounds.inc();
+            m.choke_flips.add(u64::from(flips));
+            m.choke_unchoked_slots.add(u64::from(unchoked));
+            m.choke_reciprocal_slots.add(u64::from(reciprocal));
             m.choke_round_us
                 .observe(m.registry.now_micros().saturating_sub(t0));
         }
         self.periodic_duties(now);
+    }
+
+    /// Stats of the most recent choke round, if one has run — the
+    /// per-round hook for live health monitors.
+    pub fn last_choke_round(&self) -> Option<&ChokeRoundStats> {
+        self.last_choke_round.as_ref()
     }
 
     fn periodic_duties(&mut self, now: Instant) {

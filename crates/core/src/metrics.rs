@@ -3,7 +3,9 @@
 //! [`EngineMetrics`] is a bundle of pre-registered handles into a
 //! [`bt_obs::Registry`]: one counter per [`Input`](crate::Input)
 //! variant, one per [`Action`](crate::Action) variant, one per
-//! [`EngineError`](crate::EngineError) variant, plus choke-round and
+//! [`EngineError`](crate::EngineError) variant, per-round choke churn
+//! counters (`core.choke.*`, fed by each
+//! [`rechoke`](crate::Engine::rechoke) round), plus choke-round and
 //! piece-pick latency histograms. Attach it with
 //! [`EngineBuilder::metrics`](crate::EngineBuilder::metrics) (or
 //! [`Engine::set_metrics`](crate::Engine::set_metrics) on a built
@@ -50,6 +52,11 @@ pub struct EngineMetrics {
     pub(crate) pieces_completed: Counter,
     pub(crate) pieces_failed: Counter,
 
+    pub(crate) choke_rounds: Counter,
+    pub(crate) choke_flips: Counter,
+    pub(crate) choke_unchoked_slots: Counter,
+    pub(crate) choke_reciprocal_slots: Counter,
+
     pub(crate) choke_round_us: Histogram,
     pub(crate) piece_pick_us: Histogram,
 }
@@ -86,6 +93,10 @@ impl EngineMetrics {
             err_malformed_block: registry.counter_with("core.errors.malformed_block", label),
             pieces_completed: registry.counter_with("core.pieces_completed", label),
             pieces_failed: registry.counter_with("core.pieces_failed", label),
+            choke_rounds: registry.counter_with("core.choke.rounds", label),
+            choke_flips: registry.counter_with("core.choke.flips", label),
+            choke_unchoked_slots: registry.counter_with("core.choke.unchoked_slots", label),
+            choke_reciprocal_slots: registry.counter_with("core.choke.reciprocal_slots", label),
             choke_round_us: registry.histogram_with(
                 "core.choke_round_us",
                 label,

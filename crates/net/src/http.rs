@@ -1,20 +1,39 @@
-//! A tiny non-blocking `GET /metrics` HTTP listener.
+//! A tiny non-blocking multi-route observability HTTP listener.
 //!
-//! Serves the Prometheus text exposition of a [`bt_obs::Registry`]
-//! snapshot ([`bt_obs::to_prometheus`]) so a live `--net` run can be
-//! scraped with `curl` or a real Prometheus. Deliberately minimal and
-//! dependency-free, in the style of the [`crate::runtime`] poll loop:
-//! a non-blocking `TcpListener` plus a [`MetricsServer::poll`] pass the
-//! caller pumps from any thread. One snapshot is rendered per request;
-//! requests are parsed just enough to route `GET /metrics` and answer
-//! everything else with 404.
+//! [`ObsServer`] generalizes the original `/metrics`-only listener into
+//! the swarm-health observatory's front door, still deliberately
+//! minimal and dependency-free in the style of the [`crate::runtime`]
+//! poll loop: a non-blocking `TcpListener` plus an
+//! [`ObsServer::poll`] pass the caller pumps from any thread. Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition of a
+//!   [`bt_obs::Registry`] snapshot (unchanged from the old server);
+//! * `GET /series` (optionally `?name=<prefix>`) — JSON export of an
+//!   attached [`bt_obs::SeriesStore`];
+//! * `GET /health` — the latest monitor verdicts, as JSON provided by
+//!   an attached callback (normally
+//!   `bt_analysis::live::HealthReport::to_json`);
+//! * `GET /` — a self-contained HTML/JS dashboard that polls `/series`
+//!   and `/health` and renders live sparklines.
+//!
+//! Snapshots are rendered lazily: a poll pass touches the registry only
+//! when some connection has a complete request head to answer, so an
+//! idle listener costs nothing per pass. One response per connection
+//! (`Connection: close`); unparsable requests get 400, unknown paths
+//! 404, and connections that dawdle past the read deadline are dropped.
 
-use bt_obs::{to_prometheus, Registry};
+use bt_obs::{to_prometheus, Registry, SeriesStore};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Most bytes of request head we buffer before answering 400.
 const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// The previous name of [`ObsServer`], kept as an alias: existing
+/// `/metrics` users compile unchanged.
+pub type MetricsServer = ObsServer;
 
 /// One accepted connection working through request → response.
 struct HttpConn {
@@ -23,27 +42,55 @@ struct HttpConn {
     outbuf: Vec<u8>,
     written: usize,
     responding: bool,
-    deadline: std::time::Instant,
+    deadline: Instant,
 }
 
-/// The `/metrics` listener; see the [module docs](self).
-pub struct MetricsServer {
+type HealthJson = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The observability listener; see the [module docs](self).
+pub struct ObsServer {
     listener: TcpListener,
     registry: Registry,
+    series: Option<SeriesStore>,
+    health_json: Option<HealthJson>,
     conns: Vec<HttpConn>,
+    read_deadline: Duration,
+    max_write_per_pass: usize,
 }
 
-impl MetricsServer {
+impl ObsServer {
     /// Bind `addr` (e.g. `"127.0.0.1:9090"`, port 0 for ephemeral) and
     /// serve snapshots of `registry`.
-    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        Ok(MetricsServer {
+        Ok(ObsServer {
             listener,
             registry,
+            series: None,
+            health_json: None,
             conns: Vec::new(),
+            read_deadline: Duration::from_secs(10),
+            max_write_per_pass: usize::MAX,
         })
+    }
+
+    /// Serve `store` on `GET /series` (and feed the dashboard).
+    #[must_use]
+    pub fn with_series(mut self, store: SeriesStore) -> ObsServer {
+        self.series = Some(store);
+        self
+    }
+
+    /// Serve `f()` on `GET /health`. The callback must return a
+    /// complete JSON document (e.g. a `HealthReport::to_json`).
+    #[must_use]
+    pub fn with_health_json<F>(mut self, f: F) -> ObsServer
+    where
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        self.health_json = Some(Arc::new(f));
+        self
     }
 
     /// The bound address (useful with port 0).
@@ -51,10 +98,30 @@ impl MetricsServer {
         self.listener.local_addr()
     }
 
+    /// Connections currently being served (mid-request or mid-response).
+    pub fn active_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Drop connections that haven't been answered within `d` of being
+    /// accepted (default 10 s) — the slow-loris guard.
+    pub fn set_read_deadline(&mut self, d: Duration) {
+        self.read_deadline = d;
+    }
+
+    /// Cap response bytes written per connection per [`poll`] pass
+    /// (default unlimited). Mostly a test knob for exercising
+    /// partially written responses.
+    pub fn set_max_write_per_pass(&mut self, n: usize) {
+        self.max_write_per_pass = n.max(1);
+    }
+
     /// One non-blocking pass: accept waiting connections, read request
     /// heads, write pending responses. Returns `true` if any byte
     /// moved. Call this from a polling thread (a few ms apart is
     /// plenty for a scrape endpoint).
+    ///
+    /// [`poll`]: ObsServer::poll
     pub fn poll(&mut self) -> bool {
         let mut progressed = false;
         loop {
@@ -67,8 +134,7 @@ impl MetricsServer {
                             outbuf: Vec::new(),
                             written: 0,
                             responding: false,
-                            deadline: std::time::Instant::now()
-                                + std::time::Duration::from_secs(10),
+                            deadline: Instant::now() + self.read_deadline,
                         });
                         progressed = true;
                     }
@@ -77,9 +143,13 @@ impl MetricsServer {
                 Err(_) => break,
             }
         }
-        let now = std::time::Instant::now();
-        let registry = self.registry.clone();
-        self.conns.retain_mut(|c| {
+        let now = Instant::now();
+        // Move the connection list out so routing can borrow `self`
+        // (and render a registry snapshot only when a request is
+        // actually ready — never once per idle pass).
+        let mut conns = std::mem::take(&mut self.conns);
+        let max_write = self.max_write_per_pass;
+        conns.retain_mut(|c| {
             if now >= c.deadline {
                 return false;
             }
@@ -89,18 +159,22 @@ impl MetricsServer {
                     Pump::Idle => {}
                     Pump::Dead => return false,
                 }
-                if !c.responding && request_head_complete(&c.inbuf) {
-                    c.outbuf = respond(&c.inbuf, &registry);
+                if request_head_complete(&c.inbuf) {
+                    c.outbuf = self.respond(&c.inbuf);
                     c.responding = true;
                 }
             }
             if c.responding {
+                let pass_limit = c.written.saturating_add(max_write).min(c.outbuf.len());
                 loop {
                     if c.written == c.outbuf.len() {
                         // Response fully flushed; close (Connection: close).
                         return false;
                     }
-                    match c.stream.write(&c.outbuf[c.written..]) {
+                    if c.written >= pass_limit {
+                        break;
+                    }
+                    match c.stream.write(&c.outbuf[c.written..pass_limit]) {
                         Ok(0) => return false,
                         Ok(n) => {
                             c.written += n;
@@ -114,8 +188,62 @@ impl MetricsServer {
             }
             true
         });
+        self.conns = conns;
         progressed
     }
+
+    /// Route a complete request head: see the [module docs](self) for
+    /// the route table.
+    fn respond(&self, inbuf: &[u8]) -> Vec<u8> {
+        let head = String::from_utf8_lossy(inbuf);
+        let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+        let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        if method != "GET" {
+            return http_response("400 Bad Request", "text/plain", b"bad request\n");
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        match path {
+            "/metrics" => {
+                let body = to_prometheus(&self.registry.snapshot());
+                http_response(
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    body.as_bytes(),
+                )
+            }
+            "/series" => {
+                let prefix = query_param(query, "name");
+                let body = match &self.series {
+                    Some(store) => store.to_json(prefix.as_deref()),
+                    None => "{\"series\":[]}".to_string(),
+                };
+                http_response("200 OK", "application/json", body.as_bytes())
+            }
+            "/health" => {
+                let body = match &self.health_json {
+                    Some(f) => f(),
+                    None => "{\"healthy\":true,\"samples\":0,\"at_micros\":0,\"monitors\":[]}"
+                        .to_string(),
+                };
+                http_response("200 OK", "application/json", body.as_bytes())
+            }
+            "/" => http_response("200 OK", "text/html; charset=utf-8", DASHBOARD.as_bytes()),
+            _ => http_response("404 Not Found", "text/plain", b"not found\n"),
+        }
+    }
+}
+
+/// First value of `key` in an `a=b&c=d` query string (no percent
+/// decoding: series names are plain `[a-z._{}]` and the dashboard never
+/// encodes them).
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.to_string())
+    })
 }
 
 enum Pump {
@@ -154,26 +282,6 @@ fn request_head_complete(inbuf: &[u8]) -> bool {
     inbuf.windows(4).any(|w| w == b"\r\n\r\n")
 }
 
-/// Route the request: `GET /metrics` gets the exposition, anything
-/// else 404, an unparsable request line 400.
-fn respond(inbuf: &[u8], registry: &Registry) -> Vec<u8> {
-    let head = String::from_utf8_lossy(inbuf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    match (method, path) {
-        ("GET", "/metrics") => {
-            let body = to_prometheus(&registry.snapshot());
-            http_response(
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                body.as_bytes(),
-            )
-        }
-        ("GET", _) => http_response("404 Not Found", "text/plain", b"not found\n"),
-        _ => http_response("400 Bad Request", "text/plain", b"bad request\n"),
-    }
-}
-
 fn http_response(status: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
     let mut out = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
@@ -185,6 +293,88 @@ fn http_response(status: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
     out
 }
 
+/// The `GET /` dashboard: a single self-contained page (no external
+/// assets, no frameworks) that polls `/series` + `/health` every two
+/// seconds and draws one sparkline per series on `<canvas>`. Curated
+/// prefixes (`live.`, `sim.`, `core.choke.`, `net.`) are shown first;
+/// if none match, every series is shown, capped at 24 charts.
+const DASHBOARD: &str = r##"<!doctype html>
+<html><head><meta charset="utf-8"><title>swarm observatory</title>
+<style>
+ body{font:13px/1.4 monospace;background:#10141a;color:#cdd6e0;margin:16px}
+ h1{font-size:16px;margin:0 0 4px}
+ #health{margin:6px 0 14px;padding:6px 10px;border-radius:4px;background:#1c2430}
+ #health.bad{background:#3a1d1d}
+ .mon{margin-right:14px}
+ .ok{color:#7fd487}.warn{color:#ff8f8f;font-weight:bold}
+ #charts{display:flex;flex-wrap:wrap;gap:12px}
+ .chart{background:#161c26;border-radius:4px;padding:8px}
+ .chart .name{color:#8fa3bd;margin-bottom:2px;max-width:220px;
+              overflow:hidden;text-overflow:ellipsis;white-space:nowrap}
+ .chart .val{color:#e8eef5}
+ canvas{display:block;background:#10141a;border-radius:2px}
+ #err{color:#ff8f8f}
+</style></head><body>
+<h1>swarm observatory</h1>
+<div id="health">waiting for /health &hellip;</div>
+<div id="err"></div>
+<div id="charts"></div>
+<script>
+const PREFIXES=["live.","sim.","core.choke.","net."];
+const MAX_CHARTS=24;
+function spark(canvas,pts){
+  const ctx=canvas.getContext("2d"),W=canvas.width,H=canvas.height;
+  ctx.clearRect(0,0,W,H);
+  if(pts.length<2)return;
+  let lo=Infinity,hi=-Infinity;
+  for(const[,v]of pts){if(v<lo)lo=v;if(v>hi)hi=v;}
+  if(hi===lo){hi+=1;lo-=1;}
+  const t0=pts[0][0],t1=pts[pts.length-1][0]||1;
+  ctx.strokeStyle="#5da9e9";ctx.lineWidth=1.5;ctx.beginPath();
+  pts.forEach(([t,v],i)=>{
+    const x=(t-t0)/(t1-t0||1)*(W-4)+2;
+    const y=H-2-(v-lo)/(hi-lo)*(H-4);
+    i?ctx.lineTo(x,y):ctx.moveTo(x,y);
+  });
+  ctx.stroke();
+}
+function fmt(v){return Math.abs(v)>=1e6?v.toExponential(2):
+  (Number.isInteger(v)?v:v.toFixed(3));}
+async function tick(){
+  try{
+    const hr=await fetch("/health"); const h=await hr.json();
+    const hd=document.getElementById("health");
+    if(h.monitors&&h.monitors.length){
+      hd.className=h.healthy?"":"bad";
+      hd.innerHTML=h.monitors.map(m=>
+        `<span class="mon">${m.name} <span class="${m.healthy?"ok":"warn"}">`+
+        `${fmt(m.value)} ${m.healthy?"ok":"WARN"}</span></span>`).join("")+
+        `<span class="mon">(${h.samples} samples)</span>`;
+    }else{hd.textContent="health: no monitors attached";}
+    const sr=await fetch("/series"); const data=await sr.json();
+    let series=data.series.filter(s=>PREFIXES.some(p=>s.name.startsWith(p)));
+    if(!series.length)series=data.series;
+    series=series.slice(0,MAX_CHARTS);
+    const charts=document.getElementById("charts");
+    for(const s of series){
+      let el=document.getElementById("c_"+s.name);
+      if(!el){
+        el=document.createElement("div");el.className="chart";el.id="c_"+s.name;
+        el.innerHTML=`<div class="name" title="${s.name}">${s.name}</div>`+
+          `<canvas width="220" height="56"></canvas><div class="val"></div>`;
+        charts.appendChild(el);
+      }
+      spark(el.querySelector("canvas"),s.points);
+      const last=s.points[s.points.length-1];
+      el.querySelector(".val").textContent=last?fmt(last[1]):"no data";
+    }
+    document.getElementById("err").textContent="";
+  }catch(e){document.getElementById("err").textContent="poll failed: "+e;}
+}
+tick();setInterval(tick,2000);
+</script></body></html>
+"##;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +383,10 @@ mod tests {
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        read_response(stream)
+    }
+
+    fn read_response(stream: TcpStream) -> (String, String) {
         let mut reader = BufReader::new(stream);
         let mut status = String::new();
         reader.read_line(&mut status).unwrap();
@@ -209,11 +403,11 @@ mod tests {
         (status.trim().to_string(), body)
     }
 
-    fn serve_one(server: &mut MetricsServer) {
+    fn serve_one(server: &mut ObsServer) {
         // Pump until the connection is fully answered and closed.
         for _ in 0..500 {
             server.poll();
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::sleep(Duration::from_millis(1));
         }
     }
 
@@ -224,6 +418,7 @@ mod tests {
         registry
             .histogram("core.choke_round_us", bt_obs::buckets::LATENCY_US)
             .observe(7);
+        // The legacy name still works (type alias).
         let mut server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || get(addr, "/metrics"));
@@ -242,9 +437,55 @@ mod tests {
     }
 
     #[test]
+    fn serves_series_health_and_dashboard() {
+        let registry = Registry::new_manual();
+        let store = SeriesStore::new(&registry);
+        store.record_at("live.entropy", 5, 0.75);
+        store.record_at("sim.live_peers", 5, 4.0);
+        let mut server = ObsServer::bind("127.0.0.1:0", registry)
+            .unwrap()
+            .with_series(store)
+            .with_health_json(|| "{\"healthy\":true,\"monitors\":[]}".to_string());
+        let addr = server.local_addr().unwrap();
+
+        let handle = std::thread::spawn(move || {
+            (
+                get(addr, "/series"),
+                get(addr, "/series?name=live."),
+                get(addr, "/health"),
+                get(addr, "/"),
+            )
+        });
+        serve_one(&mut server);
+        let (all, filtered, health, dash) = handle.join().unwrap();
+        assert_eq!(all.0, "HTTP/1.1 200 OK");
+        assert!(all.1.contains("\"name\":\"live.entropy\""));
+        assert!(all.1.contains("\"name\":\"sim.live_peers\""));
+        assert_eq!(filtered.0, "HTTP/1.1 200 OK");
+        assert!(filtered.1.contains("live.entropy"));
+        assert!(!filtered.1.contains("sim.live_peers"));
+        assert_eq!(health.0, "HTTP/1.1 200 OK");
+        assert_eq!(health.1, "{\"healthy\":true,\"monitors\":[]}");
+        assert_eq!(dash.0, "HTTP/1.1 200 OK");
+        assert!(dash.1.contains("<!doctype html>"));
+        assert!(dash.1.contains("fetch(\"/series\")"));
+    }
+
+    #[test]
+    fn bare_server_serves_empty_series_and_vacuous_health() {
+        let mut server = ObsServer::bind("127.0.0.1:0", Registry::new_manual()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || (get(addr, "/series"), get(addr, "/health")));
+        serve_one(&mut server);
+        let (series, health) = handle.join().unwrap();
+        assert_eq!(series.1, "{\"series\":[]}");
+        assert!(health.1.contains("\"healthy\":true"));
+    }
+
+    #[test]
     fn unknown_path_is_404_and_non_get_is_400() {
         let registry = Registry::new_manual();
-        let mut server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let mut server = ObsServer::bind("127.0.0.1:0", registry).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || get(addr, "/nope"));
         serve_one(&mut server);
@@ -261,5 +502,82 @@ mod tests {
         });
         serve_one(&mut server);
         assert_eq!(handle.join().unwrap(), "HTTP/1.1 400 Bad Request");
+    }
+
+    #[test]
+    fn slow_loris_partial_head_is_dropped_at_the_deadline() {
+        let mut server = ObsServer::bind("127.0.0.1:0", Registry::new_manual()).unwrap();
+        server.set_read_deadline(Duration::from_millis(100));
+        let addr = server.local_addr().unwrap();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // A head that never finishes: no terminating \r\n\r\n.
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x").unwrap();
+        // Let the server accept and read the partial head.
+        for _ in 0..20 {
+            server.poll();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(server.active_connections(), 1);
+        // Past the deadline the connection is dropped without an answer.
+        std::thread::sleep(Duration::from_millis(120));
+        server.poll();
+        assert_eq!(server.active_connections(), 0);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(stream.read(&mut buf).unwrap(), 0, "expected EOF, no bytes");
+    }
+
+    #[test]
+    fn pipelined_garbage_after_the_head_is_ignored() {
+        let registry = Registry::new_manual();
+        registry.counter("net.ok").add(1);
+        let mut server = ObsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n\x00\xffGARBAGE not http")
+                .unwrap();
+            read_response(stream)
+        });
+        serve_one(&mut server);
+        let (status, body) = handle.join().unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("net_ok 1"));
+        assert_eq!(server.active_connections(), 0);
+    }
+
+    #[test]
+    fn responses_survive_tiny_write_chunks_across_many_polls() {
+        let registry = Registry::new_manual();
+        // A body comfortably larger than the 7-byte write chunks.
+        for i in 0..64 {
+            registry
+                .counter_with("net.bytes_in", &format!("peer{i:02}"))
+                .add(i);
+        }
+        let mut server = ObsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+        server.set_max_write_per_pass(7);
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || get(addr, "/metrics"));
+        // Pump until the response is fully flushed, counting the passes
+        // it took: a chunked response must span many of them.
+        let mut passes = 0u32;
+        for _ in 0..10_000 {
+            server.poll();
+            passes += 1;
+            if passes > 5 && server.active_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let (status, body) = handle.join().unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, to_prometheus(&registry.snapshot()));
+        let min_passes = (body.len() / 7) as u32;
+        assert!(passes >= min_passes, "{passes} < {min_passes}");
     }
 }

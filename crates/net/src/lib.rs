@@ -21,9 +21,11 @@
 //! - [`metrics::NetMetrics`] — `bt-obs` telemetry handles: every
 //!   runtime reports `net.*` counters, gauges and a handshake-latency
 //!   histogram, per-peer labeled when a swarm shares one registry.
-//! - [`http::MetricsServer`] — a tiny non-blocking `GET /metrics`
-//!   listener serving the registry's Prometheus exposition, so a live
-//!   run can be scraped with `curl`.
+//! - [`http::ObsServer`] — a tiny non-blocking observability listener:
+//!   `GET /metrics` (Prometheus exposition), `GET /series` (time-series
+//!   JSON), `GET /health` (monitor verdicts) and `GET /` (a
+//!   self-contained live dashboard), so a live run can be scraped with
+//!   `curl` or watched in a browser.
 
 #![warn(missing_docs)]
 
@@ -35,7 +37,7 @@ pub mod runtime;
 pub mod tracker;
 
 pub use clock::{AccelClock, DEFAULT_ACCEL};
-pub use http::MetricsServer;
+pub use http::{MetricsServer, ObsServer};
 pub use loopback::{run_loopback_swarm, LoopbackResult, LoopbackSpec, PeerOutcome};
 pub use metrics::NetMetrics;
 pub use runtime::{peer_ip, NetConfig, NetRuntime, NetStats};

@@ -86,9 +86,11 @@ impl Snapshot {
     }
 }
 
-/// Sanitize a metric name for Prometheus: `[a-zA-Z0-9_:]` only.
+/// Sanitize a metric name for Prometheus: `[a-zA-Z0-9_:]` only, and
+/// never starting with a digit (`[a-zA-Z_:]` leads the grammar).
 fn prom_name(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == ':' {
                 c
@@ -96,7 +98,11 @@ fn prom_name(name: &str) -> String {
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 /// Escape a Prometheus label *value*: backslash, double quote and
@@ -194,16 +200,37 @@ pub fn summary_text(snap: &Snapshot) -> String {
             out.push_str(&format!("  {name}{{{label}}} = {v}\n"));
         }
     }
-    for (name, label, h) in &snap.histograms {
-        let shown = if label.is_empty() {
-            name.to_string()
+    let mut i = 0;
+    while i < snap.histograms.len() {
+        let name = snap.histograms[i].0;
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut labels = 0usize;
+        let first = i;
+        while i < snap.histograms.len() && snap.histograms[i].0 == name {
+            count += snap.histograms[i].2.count;
+            sum += snap.histograms[i].2.sum;
+            labels += 1;
+            i += 1;
+        }
+        if labels > 1 {
+            // Aggregated across labels: quantiles don't merge, so the
+            // summary keeps only count and sum (like labeled counters).
+            out.push_str(&format!(
+                "  {name}: count={count} sum={sum} (over {labels} labels)\n"
+            ));
         } else {
-            format!("{name}{{{label}}}")
-        };
-        out.push_str(&format!(
-            "  {shown}: count={} p50={} p95={} p99={}\n",
-            h.count, h.p50, h.p95, h.p99
-        ));
+            let (_, label, h) = &snap.histograms[first];
+            let shown = if label.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{label}}}")
+            };
+            out.push_str(&format!(
+                "  {shown}: count={} p50={} p95={} p99={}\n",
+                h.count, h.p50, h.p95, h.p99
+            ));
+        }
     }
     out
 }
@@ -260,6 +287,36 @@ mod tests {
         reg.counter_with("net.bytes_in", "p1").add(20);
         let text = summary_text(&reg.snapshot());
         assert!(text.contains("net.bytes_in = 30 (over 2 labels)"));
+    }
+
+    #[test]
+    fn summary_aggregates_labeled_histograms() {
+        let reg = Registry::new(TimeSource::manual());
+        for (label, v) in [("p0", 5u64), ("p0", 60), ("p1", 5)] {
+            reg.histogram_with("net.rtt_us", label, buckets::LATENCY_US)
+                .observe(v);
+        }
+        reg.histogram("core.round_us", buckets::LATENCY_US)
+            .observe(9);
+        let text = summary_text(&reg.snapshot());
+        // Labeled histograms collapse to one line, no per-label quantiles.
+        assert!(
+            text.contains("net.rtt_us: count=3 sum=70 (over 2 labels)"),
+            "{text}"
+        );
+        assert!(!text.contains("net.rtt_us{p0}"), "{text}");
+        // Unlabeled histograms keep their quantiles.
+        assert!(text.contains("core.round_us: count=1 p50=10"), "{text}");
+    }
+
+    #[test]
+    fn prom_name_never_starts_with_a_digit() {
+        let reg = Registry::new(TimeSource::manual());
+        reg.counter("404s").add(2);
+        reg.counter("net.ok").add(1);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE _404s counter\n_404s 2\n"), "{text}");
+        assert!(text.contains("net_ok 1"), "{text}");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod event;
 pub mod export;
 pub mod registry;
+pub mod series;
 pub mod span;
 pub mod time;
 
@@ -49,6 +50,7 @@ pub use event::{
 };
 pub use export::{summary_text, to_prometheus};
 pub use registry::{buckets, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use series::{SeriesStore, SeriesView};
 pub use span::{Profile, Profiler, SpanGuard, SpanStat};
 pub use time::TimeSource;
 

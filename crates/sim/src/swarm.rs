@@ -24,6 +24,7 @@ use crate::behavior::{BehaviorProfile, Role};
 use crate::events::EventQueue;
 use crate::metrics::SimMetrics;
 use crate::tracker::{PeerIdx, SimTracker};
+use bt_analysis::live::{HealthMonitor, HealthReport, LiveSample, Thresholds};
 use bt_core::{Action, Config, ConnId, DataMode, Engine, EngineBuilder, Input};
 use bt_instrument::trace::{Trace, TraceMeta};
 use bt_piece::{Bitfield, Geometry};
@@ -177,6 +178,10 @@ pub struct SwarmResult {
     /// Aggregated span profile, when [`Swarm::with_profiler`] attached
     /// an enabled profiler.
     pub profile: Option<bt_obs::Profile>,
+    /// Final health verdicts, when [`Swarm::with_health`] attached
+    /// live monitors. Not part of [`digest`](SwarmResult::digest):
+    /// monitors are read-only observers of the run.
+    pub health: Option<HealthReport>,
 }
 
 impl SwarmResult {
@@ -354,6 +359,12 @@ pub struct Swarm {
     uses_global_picker: bool,
     metrics: Option<SimMetrics>,
     metric_snapshots: Vec<bt_obs::Snapshot>,
+    series: Option<bt_obs::SeriesStore>,
+    health: Option<HealthMonitor>,
+    /// Clock reading (µs) when each peer last received a block (or
+    /// joined); feeds the starvation monitor.
+    last_progress: Vec<u64>,
+    starvation_scratch: Vec<u64>,
     profiler: bt_obs::Profiler,
     // Reused per-round scratch buffers (see `do_transfers`): transfer
     // rounds run every virtual second over every peer, so they must not
@@ -527,6 +538,10 @@ impl Swarm {
             uses_global_picker,
             metrics: None,
             metric_snapshots: Vec::new(),
+            series: None,
+            health: None,
+            last_progress: vec![0; n],
+            starvation_scratch: Vec::new(),
             profiler: bt_obs::Profiler::disabled(),
             budget_scratch: Vec::new(),
             demand_scratch: Vec::new(),
@@ -558,6 +573,59 @@ impl Swarm {
                 .schedule(Instant(self.spec.sample_every.0), Ev::Sample);
         }
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a time-series store: on every sampling period (and at the
+    /// end of the run) the current registry snapshot's counters and
+    /// gauges are appended as series points. Requires
+    /// [`with_metrics`](Swarm::with_metrics) first — the store should be
+    /// built on the same registry so timestamps share the virtual clock.
+    ///
+    /// Under a manual clock the appended series are a pure function of
+    /// spec + seed, so the serialized store is byte-identical across
+    /// runs and job counts (see `tests/series_determinism.rs`).
+    ///
+    /// # Panics
+    /// If no metrics registry is attached yet.
+    #[must_use]
+    pub fn with_series(self, store: bt_obs::SeriesStore) -> Swarm {
+        assert!(
+            self.metrics.is_some(),
+            "with_series requires with_metrics first"
+        );
+        if let Some(h) = &self.health {
+            h.set_series(store.clone());
+        }
+        let mut this = self;
+        this.series = Some(store);
+        this
+    }
+
+    /// Attach live health monitors ([`bt_analysis::live`]): entropy,
+    /// replication spread, reciprocation and starvation are re-judged
+    /// on every sampling period from ground-truth swarm state, surfaced
+    /// as `live.*` gauges (plus float series when
+    /// [`with_series`](Swarm::with_series) is also attached), and the
+    /// final [`HealthReport`] lands on [`SwarmResult::health`].
+    /// Monitors only read swarm state — digests and traces are
+    /// unchanged. Requires [`with_metrics`](Swarm::with_metrics) first.
+    ///
+    /// # Panics
+    /// If no metrics registry is attached yet.
+    #[must_use]
+    pub fn with_health(mut self, thresholds: Thresholds) -> Swarm {
+        let registry = self
+            .metrics
+            .as_ref()
+            .expect("with_health requires with_metrics first")
+            .registry()
+            .clone();
+        let monitor = HealthMonitor::new(&registry, thresholds);
+        if let Some(store) = &self.series {
+            monitor.set_series(store.clone());
+        }
+        self.health = Some(monitor);
         self
     }
 
@@ -668,8 +736,13 @@ impl Swarm {
                 m.registry().time().advance_to(end.0);
             }
             self.update_metric_gauges(end);
+            self.observe_health(end);
             if let Some(m) = &self.metrics {
-                self.metric_snapshots.push(m.registry().snapshot());
+                let snap = m.registry().snapshot();
+                if let Some(store) = &self.series {
+                    store.append_snapshot(&snap);
+                }
+                self.metric_snapshots.push(snap);
             }
         }
         let trace = self
@@ -691,6 +764,7 @@ impl Swarm {
             global_series: self.global_series,
             metrics: self.metric_snapshots,
             profile: self.profiler.is_enabled().then(|| self.profiler.snapshot()),
+            health: self.health.as_ref().map(|m| m.report()),
         }
     }
 
@@ -720,6 +794,64 @@ impl Swarm {
         m.unchoked_pairs.set(unchoked);
     }
 
+    /// The live health monitor, when [`Swarm::with_health`] attached
+    /// one. Clone it before [`run`](Swarm::run) to watch verdicts from
+    /// another thread (e.g. an HTTP `/health` route).
+    pub fn health_monitor(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
+    }
+
+    /// Feed the live monitors one ground-truth sample: per-piece
+    /// replication over live peers, leecher unchoke reciprocity (local
+    /// tit-for-tat view on each engine), and per-leecher starvation
+    /// ages. Same O(live peers + connections) cost class as
+    /// [`update_metric_gauges`](Self::update_metric_gauges); reads
+    /// state only, so digests and traces are unchanged.
+    fn observe_health(&mut self, now: Instant) {
+        let Some(monitor) = self.health.clone() else {
+            return;
+        };
+        let n = self.geometry.num_pieces() as usize;
+        self.counts_scratch.clear();
+        self.counts_scratch.resize(n, 0);
+        self.starvation_scratch.clear();
+        let mut any_live = false;
+        let mut leecher_unchokes = 0u64;
+        let mut reciprocated = 0u64;
+        for (idx, p) in self.peers.iter().enumerate() {
+            if !p.alive {
+                continue;
+            }
+            any_live = true;
+            for piece in p.engine.own_pieces().iter_ones() {
+                self.counts_scratch[piece as usize] += 1;
+            }
+            if p.engine.is_seed() {
+                continue;
+            }
+            self.starvation_scratch
+                .push(now.0.saturating_sub(self.last_progress[idx]) / 1_000_000);
+            for conn in p.engine.connections() {
+                if !conn.am_choking {
+                    leecher_unchokes += 1;
+                    if !conn.peer_choking {
+                        reciprocated += 1;
+                    }
+                }
+            }
+        }
+        let counts: &[u32] = if any_live { &self.counts_scratch } else { &[] };
+        monitor.observe(
+            now.0,
+            &LiveSample {
+                counts,
+                leecher_unchokes,
+                reciprocated,
+                starvation_secs: &self.starvation_scratch,
+            },
+        );
+    }
+
     // ------------------------------------------------------------------
     // Event dispatch
     // ------------------------------------------------------------------
@@ -731,6 +863,9 @@ impl Swarm {
             Ev::Restart(idx) => self.on_restart(now, idx),
             Ev::Deliver { to, conn, msg } => {
                 if self.peers[to].alive {
+                    if matches!(msg, Message::Piece { .. }) {
+                        self.last_progress[to] = now.0;
+                    }
                     self.peers[to]
                         .engine
                         .handle(now, Input::Message { conn, msg });
@@ -784,8 +919,13 @@ impl Swarm {
                 }
                 if self.metrics.is_some() {
                     self.update_metric_gauges(now);
+                    self.observe_health(now);
                     if let Some(m) = &self.metrics {
-                        self.metric_snapshots.push(m.registry().snapshot());
+                        let snap = m.registry().snapshot();
+                        if let Some(store) = &self.series {
+                            store.append_snapshot(&snap);
+                        }
+                        self.metric_snapshots.push(snap);
                     }
                 }
                 self.queue
@@ -802,6 +942,7 @@ impl Swarm {
             }
             p.alive = true;
         }
+        self.last_progress[idx] = now.0;
         self.peers[idx].engine.handle(now, Input::Start);
         self.process_actions(now, idx);
         // Stagger rechoke phases so the swarm's choke rounds do not all
@@ -1514,6 +1655,50 @@ mod tests {
             .histogram("core.choke_round_us", "")
             .expect("histogram");
         assert!(hist.count > 0);
+    }
+
+    #[test]
+    fn series_and_health_are_deterministic_and_do_not_perturb_the_run() {
+        let run = |with_obs: bool| {
+            let swarm = Swarm::new(tiny_spec(7));
+            if with_obs {
+                let registry = bt_obs::Registry::new_manual();
+                let store = bt_obs::SeriesStore::new(&registry);
+                let swarm = swarm
+                    .with_metrics(registry)
+                    .with_series(store.clone())
+                    .with_health(bt_analysis::live::Thresholds::default());
+                (swarm.run(), Some(store))
+            } else {
+                (swarm.run(), None)
+            }
+        };
+        let (a, store_a) = run(true);
+        let (_b, store_b) = run(true);
+        let (bare, _) = run(false);
+        // Same spec + seed ⇒ byte-identical series JSON, filtered or not.
+        let json_a = store_a.as_ref().unwrap().to_json(None);
+        assert_eq!(json_a, store_b.as_ref().unwrap().to_json(None));
+        assert_eq!(
+            store_a.unwrap().to_json(Some("live.")),
+            store_b.unwrap().to_json(Some("live."))
+        );
+        // Observers must not change what the engines do.
+        assert_eq!(a.completion, bare.completion);
+        assert_eq!(a.events_processed, bare.events_processed);
+        assert_eq!(a.trace.unwrap().events, bare.trace.unwrap().events);
+        assert!(bare.health.is_none());
+        // Series carry both sampled instruments and monitor floats.
+        assert!(json_a.contains("\"name\":\"sim.live_peers\""));
+        assert!(json_a.contains("\"name\":\"core.choke.rounds\""));
+        assert!(json_a.contains("\"name\":\"live.entropy\""));
+        // The tiny swarm is healthy: seed present, tit-for-tat running.
+        let health = a.health.expect("health attached");
+        assert!(health.samples > 0);
+        assert!(health.healthy(), "{}", health.summary_line());
+        let snap = a.metrics.last().unwrap();
+        assert!(snap.gauge("live.entropy_milli", "").unwrap() > 700);
+        assert!(snap.counter_sum("core.choke.flips") > 0);
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct RunConfig {
     /// [`ScenarioOutcome::profile`]. Spans never touch engine RNG or
     /// traces, so profiled runs stay byte-identical to bare ones.
     pub profile: bool,
+    /// Attach a [`bt_obs::SeriesStore`] plus the live health monitors to
+    /// every swarm (implies a metrics registry). The deterministic
+    /// time-series JSON lands in [`ScenarioOutcome::series`] and the
+    /// final verdicts in
+    /// [`SwarmResult::health`](bt_sim::swarm::SwarmResult::health).
+    pub series: bool,
 }
 
 impl Default for RunConfig {
@@ -80,6 +86,7 @@ impl Default for RunConfig {
             real_data: false,
             metrics: false,
             profile: false,
+            series: false,
         }
     }
 }
@@ -132,6 +139,10 @@ pub struct ScenarioOutcome {
     /// ([`bt_obs::Profile::merge`]), so a sweep can aggregate them in
     /// spec order regardless of which worker ran what.
     pub profile: Option<bt_obs::Profile>,
+    /// Time-series JSON export, when [`RunConfig::series`] was set. A
+    /// pure function of the spec and seed: byte-identical across runs
+    /// and worker counts.
+    pub series: Option<String>,
 }
 
 /// Scale a Table I row under `cfg`.
@@ -295,8 +306,18 @@ pub fn build_swarm_spec(spec: &ScenarioSpec, cfg: &RunConfig) -> (SwarmSpec, Sca
 pub fn run_scenario(spec: &ScenarioSpec, cfg: &RunConfig) -> ScenarioOutcome {
     let (mut swarm_spec, scaled) = build_swarm_spec(spec, cfg);
     let mut swarm = Swarm::new(std::mem::take(&mut swarm_spec));
-    if cfg.metrics {
-        swarm = swarm.with_metrics(bt_obs::Registry::new_manual());
+    let registry = (cfg.metrics || cfg.series).then(bt_obs::Registry::new_manual);
+    if let Some(reg) = &registry {
+        swarm = swarm.with_metrics(reg.clone());
+    }
+    let store = match (&registry, cfg.series) {
+        (Some(reg), true) => Some(bt_obs::SeriesStore::new(reg)),
+        _ => None,
+    };
+    if let Some(s) = &store {
+        swarm = swarm
+            .with_series(s.clone())
+            .with_health(bt_analysis::live::Thresholds::default());
     }
     if cfg.profile {
         swarm = swarm.with_profiler(bt_obs::Profiler::new(bt_obs::TimeSource::manual()));
@@ -313,6 +334,7 @@ pub fn run_scenario(spec: &ScenarioSpec, cfg: &RunConfig) -> ScenarioOutcome {
         trace,
         result,
         profile,
+        series: store.map(|s| s.to_json(None)),
     }
 }
 
