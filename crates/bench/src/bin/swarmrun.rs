@@ -1,13 +1,16 @@
 //! `swarmrun` — run a swarm scenario from a JSON spec file.
 //!
 //! ```text
-//! swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl]
-//!          [--series out.json] [--watch-addr 127.0.0.1:PORT]
-//!          [--watch-linger SECS] [--profile out.json] [--status] [--example]
-//! swarmrun --scenario NAME [--peers N] [--seed N] [--metrics out.jsonl]
+//! swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl]
+//!          [--metrics out.jsonl] [--series out.json]
+//!          [--watch-addr 127.0.0.1:PORT] [--watch-linger SECS]
+//!          [--profile out.json] [--status] [--example]
+//! swarmrun --scenario NAME [--peers N] [--seed N]
+//!          [--topology NAME|file.json] [--metrics out.jsonl]
 //!          [--series out.json] [--watch-addr ADDR] [--profile out.json]
 //!          [--status]
-//! swarmrun --table1 [--quick] [--seed N] [--jobs N] [--series out.json]
+//! swarmrun --table1 [--quick] [--seed N] [--jobs N]
+//!          [--topology NAME|file.json] [--series out.json]
 //!          [--profile out.json]
 //! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N]
 //!          [--trace out.jsonl] [--metrics out.jsonl] [--series out.json]
@@ -20,6 +23,11 @@
 //!   Every simulator run ends by printing `run digest`, a 64-bit
 //!   fingerprint of the complete deterministic outcome — compare it
 //!   across machines or job counts to check byte-identical replay;
+//! * `--topology NAME|file.json` replaces the spec's network model
+//!   with a full-duplex WAN topology: a built-in preset
+//!   (`homogeneous`, `asymmetric_dsl`, `two_isp_bottleneck`) or a
+//!   topology JSON file (schema: DESIGN.md §10). Works on spec-file,
+//!   `--scenario` and `--table1` runs; the run stays deterministic;
 //! * `--example` prints a complete, runnable spec to stdout and exits;
 //! * `--trace FILE` writes the instrumented peer's trace as JSON lines;
 //! * `--metrics FILE` writes `bt-obs` registry snapshots as JSON lines
@@ -66,7 +74,7 @@
 use bt_analysis::SessionSummary;
 use bt_net::LoopbackSpec;
 use bt_obs::{summary_text, Profile, Profiler, Registry, Snapshot, TimeSource};
-use bt_sim::{BehaviorProfile, Swarm, SwarmSpec};
+use bt_sim::{BehaviorProfile, NetModel, Swarm, SwarmSpec, TopologySpec};
 use bt_torrents::RunConfig;
 use bt_wire::time::Duration;
 use std::io::{IsTerminal, Write};
@@ -86,7 +94,10 @@ fn main() {
         return;
     }
     if let Some(name) = flag_str(&args, "--scenario") {
-        let spec = scenario_spec(&name, &args);
+        let mut spec = scenario_spec(&name, &args);
+        if let Some(net) = topology_net(&args) {
+            spec.net = Some(net);
+        }
         run_sim(spec, &args);
         return;
     }
@@ -99,6 +110,7 @@ fn main() {
         "--profile",
         "--watch-addr",
         "--watch-linger",
+        "--topology",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
@@ -110,7 +122,7 @@ fn main() {
         .map(|(_, a)| a)
     else {
         eprintln!(
-            "usage: swarmrun <spec.json> [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--watch-addr ADDR] [--watch-linger SECS] [--profile out.json] [--status] [--example]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--series out.json] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--profile out.json] [--watch-addr ADDR] [--status]"
+            "usage: swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--watch-addr ADDR] [--watch-linger SECS] [--profile out.json] [--status] [--example]\n       swarmrun --scenario flash_crowd_1k|flash_crowd_10k|flash_crowd_100k [--peers N] [--seed N] [--topology NAME|file.json] [...]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--topology NAME|file.json] [--series out.json] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--profile out.json] [--watch-addr ADDR] [--status]"
         );
         std::process::exit(2);
     };
@@ -118,11 +130,38 @@ fn main() {
         eprintln!("swarmrun: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let spec: SwarmSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+    let mut spec: SwarmSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
         eprintln!("swarmrun: invalid spec: {e}");
         std::process::exit(2);
     });
+    if let Some(net) = topology_net(&args) {
+        spec.net = Some(net);
+    }
     run_sim(spec, &args);
+}
+
+/// `--topology NAME|file.json`: a built-in preset name or a topology
+/// JSON file (schema: DESIGN.md §10), applied as the spec's full-duplex
+/// network model.
+fn topology_net(args: &[String]) -> Option<NetModel> {
+    let value = flag_str(args, "--topology")?;
+    if let Some(model) = NetModel::preset(&value) {
+        return Some(model);
+    }
+    let text = std::fs::read_to_string(&value).unwrap_or_else(|e| {
+        eprintln!(
+            "swarmrun: --topology {value}: not one of {:?} and not a readable file: {e}",
+            bt_sim::PRESET_NAMES
+        );
+        std::process::exit(2);
+    });
+    match TopologySpec::from_json(&text) {
+        Ok(spec) => Some(NetModel::FullDuplex(spec)),
+        Err(e) => {
+            eprintln!("swarmrun: --topology {value}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Build a named preset spec (`--scenario`).
@@ -176,9 +215,10 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
     let piece_len = spec.piece_len;
     let pieces = spec.total_len.div_ceil(u64::from(spec.piece_len));
     eprintln!(
-        "running {peers} peers, {pieces} pieces, {} s session (seed {}) ...",
+        "running {peers} peers, {pieces} pieces, {} s session (seed {}, net {}) ...",
         spec.duration.0 / 1_000_000,
-        spec.seed
+        spec.seed,
+        spec.net_model().label()
     );
     let local = spec.local;
     let mut swarm = Swarm::new(spec);
@@ -604,6 +644,10 @@ fn run_table1_sweep(args: &[String]) {
     cfg.profile = profile_out.is_some();
     let series_out = flag_str(args, "--series");
     cfg.series = series_out.is_some();
+    if let Some(net) = topology_net(args) {
+        eprintln!("table1 network model: {}", net.label());
+        cfg.net = Some(net);
+    }
 
     eprintln!("running the 26-torrent Table I sweep ({jobs} jobs) ...");
     let t0 = std::time::Instant::now();

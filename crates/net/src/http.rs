@@ -31,10 +31,6 @@ use std::time::{Duration, Instant};
 /// Most bytes of request head we buffer before answering 400.
 const MAX_REQUEST_HEAD: usize = 8 * 1024;
 
-/// The previous name of [`ObsServer`], kept as an alias: existing
-/// `/metrics` users compile unchanged.
-pub type MetricsServer = ObsServer;
-
 /// One accepted connection working through request → response.
 struct HttpConn {
     stream: TcpStream,
@@ -418,8 +414,7 @@ mod tests {
         registry
             .histogram("core.choke_round_us", bt_obs::buckets::LATENCY_US)
             .observe(7);
-        // The legacy name still works (type alias).
-        let mut server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let mut server = ObsServer::bind("127.0.0.1:0", registry).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || get(addr, "/metrics"));
         serve_one(&mut server);

@@ -37,7 +37,7 @@ pub mod runtime;
 pub mod tracker;
 
 pub use clock::{AccelClock, DEFAULT_ACCEL};
-pub use http::{MetricsServer, ObsServer};
+pub use http::ObsServer;
 pub use loopback::{run_loopback_swarm, LoopbackResult, LoopbackSpec, PeerOutcome};
 pub use metrics::NetMetrics;
 pub use runtime::{peer_ip, NetConfig, NetRuntime, NetStats};

@@ -13,13 +13,19 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod builder;
 pub mod events;
+pub mod links;
 pub mod metrics;
 pub mod swarm;
+pub mod topology;
 pub mod tracker;
 
 pub use behavior::{BehaviorProfile, CapacityClass, Role};
+pub use builder::SwarmSpecBuilder;
 pub use events::{EventQueue, HeapEventQueue};
+pub use links::{FullDuplexLink, LinkModel, LinkParams, NetModel, UniformLink};
 pub use metrics::SimMetrics;
 pub use swarm::{GlobalSample, Swarm, SwarmResult, SwarmSpec};
+pub use topology::{ClassSpec, LinkRule, LinkSpec, TopologySpec, PRESET_NAMES};
 pub use tracker::{PeerIdx, SimTracker};

@@ -23,6 +23,9 @@ pub struct SimMetrics {
     pub(crate) events: Counter,
     pub(crate) transfer_rounds: Counter,
     pub(crate) blocks_delivered: Counter,
+    /// Transmissions the link model lost (and redelivered one RTO
+    /// late); stays zero under loss-free models.
+    pub(crate) link_losses: Counter,
 
     pub(crate) virtual_secs: Gauge,
     pub(crate) live_peers: Gauge,
@@ -40,6 +43,7 @@ impl SimMetrics {
             events: registry.counter("sim.events"),
             transfer_rounds: registry.counter("sim.transfer_rounds"),
             blocks_delivered: registry.counter("sim.blocks_delivered"),
+            link_losses: registry.counter("sim.link_losses"),
             virtual_secs: registry.gauge("sim.virtual_secs"),
             live_peers: registry.gauge("sim.live_peers"),
             completed_peers: registry.gauge("sim.completed_peers"),

@@ -21,7 +21,9 @@
 //! equal timestamps pop FIFO. Same spec + same seed ⇒ identical traces.
 
 use crate::behavior::{BehaviorProfile, Role};
+use crate::builder::SwarmSpecBuilder;
 use crate::events::EventQueue;
+use crate::links::{LinkModel, LinkParams, NetModel};
 use crate::metrics::SimMetrics;
 use crate::tracker::{PeerIdx, SimTracker};
 use bt_analysis::live::{HealthMonitor, HealthReport, LiveSample, Thresholds};
@@ -72,12 +74,20 @@ pub struct SwarmSpec {
     /// Pre-existing leechers hold `U(0, this)` of the available pieces.
     pub prepop_completion_max: f64,
     /// Base one-way control-message latency.
+    ///
+    /// Legacy shim: maps onto a [`UniformLink`](crate::links::UniformLink)
+    /// when [`net`](SwarmSpec::net) is unset (see
+    /// [`net_model`](SwarmSpec::net_model)); ignored otherwise.
+    #[deprecated(note = "use the typed `net` section (SwarmSpec::builder().uniform_net(..))")]
     pub latency: Duration,
     /// Additional per-link latency spread: each connection draws a fixed
     /// extra one-way delay uniformly from `[0, latency_jitter]` when it is
     /// established. Per-link delay is constant, so TCP's in-order delivery
     /// is preserved while peers differ in RTT (which subtly biases the
     /// rate-based choke decisions, as on the real Internet).
+    ///
+    /// Legacy shim: see [`latency`](SwarmSpec::latency).
+    #[deprecated(note = "use the typed `net` section (SwarmSpec::builder().uniform_net(..))")]
     pub latency_jitter: Duration,
     /// Transfer round length.
     pub transfer_round: Duration,
@@ -107,9 +117,35 @@ pub struct SwarmSpec {
     /// (transient classification, rare-piece counts) against ground
     /// truth.
     pub sample_global: bool,
+    /// Typed network model (see [`NetModel`]): per-link delay, loss and
+    /// per-direction bandwidth under a topology, or the flat uniform
+    /// model. `None` falls back to the deprecated flat latency fields —
+    /// old JSON specs keep replaying byte-identically.
+    pub net: Option<NetModel>,
+}
+
+impl SwarmSpec {
+    /// Start building a spec with every knob named — the replacement
+    /// for sprawling struct literals. See [`SwarmSpecBuilder`].
+    pub fn builder() -> SwarmSpecBuilder {
+        SwarmSpecBuilder::new()
+    }
+
+    /// The effective network model: the typed [`net`](SwarmSpec::net)
+    /// section when present, else the legacy flat latency fields as a
+    /// [`NetModel::Uniform`] (byte-identical to the pre-link-layer
+    /// delivery path).
+    pub fn net_model(&self) -> NetModel {
+        #[allow(deprecated)]
+        self.net.clone().unwrap_or(NetModel::Uniform {
+            latency: self.latency,
+            jitter: self.latency_jitter,
+        })
+    }
 }
 
 impl Default for SwarmSpec {
+    #[allow(deprecated)]
     fn default() -> Self {
         SwarmSpec {
             seed: 1,
@@ -131,6 +167,7 @@ impl Default for SwarmSpec {
             tracker_response_cap: None,
             scalable_tracker: false,
             sample_global: false,
+            net: None,
         }
     }
 }
@@ -274,7 +311,17 @@ enum Ev {
 struct LinkSlot {
     to: PeerIdx,
     remote_conn: ConnId,
-    latency: Duration,
+    /// This direction's link parameters (delay, loss, bandwidth),
+    /// fixed at establishment by the [`LinkModel`].
+    params: LinkParams,
+    /// Earliest instant the next delivery on this direction may land:
+    /// loss redelivery must not let later messages overtake earlier
+    /// ones (the TCP in-order contract). On loss-free links delivery
+    /// times are already monotonic, so the watermark never binds.
+    next_free: Instant,
+    /// Per-transfer-round byte cap derived from `params.bandwidth`
+    /// (`u64::MAX` = uncapped — the legacy behaviour).
+    round_cap: u64,
     /// Blocks the engine asked us to upload on this connection, FIFO.
     queue: VecDeque<BlockRef>,
     /// Bytes granted to the head block but not yet covering it whole.
@@ -305,16 +352,28 @@ impl SimPeer {
         self.links.get_mut(conn as usize).and_then(|s| s.as_mut())
     }
 
-    fn insert_link(&mut self, conn: ConnId, to: PeerIdx, remote_conn: ConnId, latency: Duration) {
+    fn insert_link(
+        &mut self,
+        conn: ConnId,
+        to: PeerIdx,
+        remote_conn: ConnId,
+        params: LinkParams,
+        round_secs: f64,
+    ) {
         let i = conn as usize;
         if self.links.len() <= i {
             self.links.resize_with(i + 1, || None);
         }
         let queue = self.spare_queues.pop().unwrap_or_default();
+        let round_cap = params
+            .bandwidth
+            .map_or(u64::MAX, |b| ((b as f64 * round_secs) as u64).max(1));
         self.links[i] = Some(LinkSlot {
             to,
             remote_conn,
-            latency,
+            params,
+            next_free: Instant(0),
+            round_cap,
             queue,
             head_credit: 0,
         });
@@ -329,14 +388,14 @@ impl SimPeer {
         let LinkSlot {
             to,
             remote_conn,
-            latency,
+            params,
             mut queue,
             ..
         } = slot;
         let dropped = queue.len() as u32;
         queue.clear();
         self.spare_queues.push(queue);
-        Some((to, remote_conn, latency, dropped))
+        Some((to, remote_conn, params.delay, dropped))
     }
 }
 
@@ -344,6 +403,13 @@ impl SimPeer {
 /// [`Swarm::run`].
 pub struct Swarm {
     spec: SwarmSpec,
+    /// The resolved per-link network model (see [`crate::links`]).
+    link_model: Box<dyn LinkModel>,
+    /// Control-plane one-way delay from the link model: dial setup and
+    /// tracker responses (the legacy `spec.latency` role).
+    base_delay: Duration,
+    /// Transfer-round length in seconds, for per-link byte caps.
+    round_secs: f64,
     geometry: Geometry,
     data: DataMode,
     queue: EventQueue<Ev>,
@@ -521,8 +587,13 @@ impl Swarm {
             .iter()
             .map(|p| (p.engine.config.max_upload_rate as f64 * round_secs) as u64)
             .collect();
+        let link_model = spec.net_model().build(spec.peers.len(), spec.seed);
+        let base_delay = link_model.base_delay();
         Swarm {
             spec,
+            link_model,
+            base_delay,
+            round_secs,
             geometry,
             data,
             queue,
@@ -1123,14 +1194,12 @@ impl Swarm {
             self.process_actions(now, to);
             return;
         };
-        let link_latency = self.spec.latency
-            + Duration(if self.spec.latency_jitter.0 > 0 {
-                self.rng.random_range(0..=self.spec.latency_jitter.0)
-            } else {
-                0
-            });
-        self.peers[from].insert_link(from_conn, to, to_conn, link_latency);
-        self.peers[to].insert_link(to_conn, from, from_conn, link_latency);
+        // The link model fixes both directions' parameters now, with
+        // the master PRNG — the same point in the draw sequence where
+        // the legacy jitter sample happened.
+        let (fwd, rev) = self.link_model.establish(from, to, &mut self.rng);
+        self.peers[from].insert_link(from_conn, to, to_conn, fwd, self.round_secs);
+        self.peers[to].insert_link(to_conn, from, from_conn, rev, self.round_secs);
         self.process_actions(now, to);
         self.process_actions(now, from);
     }
@@ -1168,16 +1237,7 @@ impl Swarm {
                             slot.head_credit = 0;
                         }
                     }
-                    if let Some(slot) = self.peers[idx].link(conn) {
-                        self.queue.schedule(
-                            now + slot.latency,
-                            Ev::Deliver {
-                                to: slot.to,
-                                conn: slot.remote_conn,
-                                msg,
-                            },
-                        );
-                    }
+                    self.send_on_link(now, idx, conn, msg);
                 }
                 Action::SendBlock { conn, block } => {
                     if let Some(slot) = self.peers[idx].link_mut(conn) {
@@ -1212,7 +1272,7 @@ impl Swarm {
                 Action::Announce { event } => self.do_announce(now, idx, event),
                 Action::Connect { peer } => {
                     self.queue.schedule(
-                        now + self.spec.latency,
+                        now + self.base_delay,
                         Ev::DialArrive {
                             from: idx,
                             to_ip: peer.ip,
@@ -1224,6 +1284,42 @@ impl Swarm {
                 }
             }
         }
+    }
+
+    /// Schedule `msg` for delivery over `idx`'s link `conn`: constant
+    /// one-way delay, then the seeded loss draw (a lost transmission is
+    /// redelivered one RTO late), then the per-link in-order watermark
+    /// (later sends never overtake earlier ones — TCP above a lossy
+    /// path). No-op when the link is already gone, like the old direct
+    /// schedule. Loss draws only happen on links with `loss > 0`, so
+    /// loss-free models consume no extra randomness.
+    fn send_on_link(&mut self, now: Instant, idx: PeerIdx, conn: ConnId, msg: Message) {
+        let Some(slot) = self.peers[idx]
+            .links
+            .get_mut(conn as usize)
+            .and_then(|s| s.as_mut())
+        else {
+            return;
+        };
+        let mut at = now + slot.params.delay;
+        if slot.params.loss > 0.0 && self.rng.random_range(0.0..1.0) < slot.params.loss {
+            at += slot.params.rto;
+            if let Some(m) = &self.metrics {
+                m.link_losses.inc();
+            }
+        }
+        if at < slot.next_free {
+            at = slot.next_free;
+        }
+        slot.next_free = at;
+        self.queue.schedule(
+            at,
+            Ev::Deliver {
+                to: slot.to,
+                conn: slot.remote_conn,
+                msg,
+            },
+        );
     }
 
     fn do_announce(&mut self, now: Instant, idx: PeerIdx, event: AnnounceEvent) {
@@ -1240,7 +1336,7 @@ impl Swarm {
                 .announce(idx, ip, port, is_seed, event, num_want, &mut self.rng);
         if let Some(resp) = response {
             self.queue.schedule(
-                now + self.spec.latency,
+                now + self.base_delay,
                 Ev::TrackerResponse {
                     to: idx,
                     peers: resp.peers,
@@ -1284,9 +1380,13 @@ impl Swarm {
                     continue;
                 }
                 let queued: u64 = slot.queue.iter().map(|b| u64::from(b.length)).sum();
+                // Demand is bounded by the receiver's round budget and
+                // by this direction's own bandwidth (`round_cap`;
+                // `u64::MAX` on uncapped links, i.e. a no-op).
                 let d = queued
                     .saturating_sub(slot.head_credit)
-                    .min(budgets[slot.to]);
+                    .min(budgets[slot.to])
+                    .min(slot.round_cap);
                 if d > 0 {
                     demand.push((c as ConnId, slot.to, slot.remote_conn, d));
                     demand_bytes.push(d);
@@ -1363,17 +1463,22 @@ impl Swarm {
             },
         );
         self.process_actions(now, from);
-        let lat = self.peers[from]
-            .link(from_conn)
-            .map_or(self.spec.latency, |s| s.latency);
-        self.queue.schedule(
-            now + lat,
-            Ev::Deliver {
-                to,
-                conn: to_conn,
-                msg: Message::Piece { block, data },
-            },
-        );
+        let msg = Message::Piece { block, data };
+        if self.peers[from].link(from_conn).is_some() {
+            self.send_on_link(now, from, from_conn, msg);
+        } else {
+            // The engine's reaction to `BlockSent` tore the link down;
+            // the block was already on the wire, so it still arrives,
+            // at the control-plane delay (the legacy fallback).
+            self.queue.schedule(
+                now + self.base_delay,
+                Ev::Deliver {
+                    to,
+                    conn: to_conn,
+                    msg,
+                },
+            );
+        }
     }
 
     /// Record a ground-truth replication snapshot over all live peers.

@@ -13,6 +13,7 @@ use bt_core::Config;
 use bt_instrument::trace::Trace;
 use bt_sim::behavior::{BehaviorProfile, CapacityClass, Role};
 use bt_sim::swarm::{Swarm, SwarmResult, SwarmSpec};
+use bt_sim::NetModel;
 use bt_wire::peer_id::ClientKind;
 use bt_wire::time::Duration;
 use rand::rngs::SmallRng;
@@ -67,6 +68,11 @@ pub struct RunConfig {
     /// final verdicts in
     /// [`SwarmResult::health`](bt_sim::swarm::SwarmResult::health).
     pub series: bool,
+    /// Network model applied to every scenario swarm (`None` = the
+    /// spec default: uniform latency). Set a full-duplex topology here
+    /// to rerun Table I under WAN conditions — `swarmrun --table1
+    /// --topology asymmetric_dsl` routes through this.
+    pub net: Option<NetModel>,
 }
 
 impl Default for RunConfig {
@@ -87,6 +93,7 @@ impl Default for RunConfig {
             metrics: false,
             profile: false,
             series: false,
+            net: None,
         }
     }
 }
@@ -101,6 +108,147 @@ impl RunConfig {
             session: Duration::from_secs(1800),
             ..RunConfig::default()
         }
+    }
+
+    /// Start building a config from the defaults — the mirror of
+    /// [`SwarmSpec::builder`].
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: RunConfig::default(),
+        }
+    }
+
+    /// Continue building from an existing config (e.g.
+    /// `RunConfig::quick().into_builder()`).
+    pub fn into_builder(self) -> RunConfigBuilder {
+        RunConfigBuilder { cfg: self }
+    }
+}
+
+/// Fluent construction of [`RunConfig`]s; obtain one with
+/// [`RunConfig::builder`] or [`RunConfig::into_builder`].
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Cap on simulated peers.
+    #[must_use]
+    pub fn max_peers(mut self, max: usize) -> Self {
+        self.cfg.max_peers = max;
+        self
+    }
+
+    /// Piece-count bounds for the scaled content.
+    #[must_use]
+    pub fn piece_bounds(mut self, min: u32, max: u32) -> Self {
+        self.cfg.min_pieces = min;
+        self.cfg.max_pieces = max;
+        self
+    }
+
+    /// Simulated session length.
+    #[must_use]
+    pub fn session(mut self, session: Duration) -> Self {
+        self.cfg.session = session;
+        self
+    }
+
+    /// Fraction of leechers that are free riders.
+    #[must_use]
+    pub fn free_rider_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.free_rider_fraction = fraction;
+        self
+    }
+
+    /// Fraction of extra churner joins.
+    #[must_use]
+    pub fn churner_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.churner_fraction = fraction;
+        self
+    }
+
+    /// Fraction of leechers that crash and restart mid-session.
+    #[must_use]
+    pub fn restarter_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.restarter_fraction = fraction;
+        self
+    }
+
+    /// Extra mid-session arrivals, as a fraction of initial leechers.
+    #[must_use]
+    pub fn arrival_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.arrival_fraction = fraction;
+        self
+    }
+
+    /// Pre-replicated piece fraction for transient torrents.
+    #[must_use]
+    pub fn transient_available(mut self, fraction: f64) -> Self {
+        self.cfg.transient_available = fraction;
+        self
+    }
+
+    /// Engine configuration shared by all peers.
+    #[must_use]
+    pub fn base_config(mut self, config: Config) -> Self {
+        self.cfg.base_config = config;
+        self
+    }
+
+    /// Edit the base engine configuration in place.
+    #[must_use]
+    pub fn configure(mut self, edit: impl FnOnce(&mut Config)) -> Self {
+        edit(&mut self.cfg.base_config);
+        self
+    }
+
+    /// Carry real bytes and verify hashes.
+    #[must_use]
+    pub fn real_data(mut self, on: bool) -> Self {
+        self.cfg.real_data = on;
+        self
+    }
+
+    /// Attach a deterministic metrics registry to every swarm.
+    #[must_use]
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.cfg.metrics = on;
+        self
+    }
+
+    /// Attach a deterministic span profiler to every swarm.
+    #[must_use]
+    pub fn profile(mut self, on: bool) -> Self {
+        self.cfg.profile = on;
+        self
+    }
+
+    /// Attach series + live health monitors to every swarm.
+    #[must_use]
+    pub fn series(mut self, on: bool) -> Self {
+        self.cfg.series = on;
+        self
+    }
+
+    /// Network model applied to every scenario swarm.
+    #[must_use]
+    pub fn net(mut self, model: NetModel) -> Self {
+        self.cfg.net = Some(model);
+        self
+    }
+
+    /// Finish: returns the assembled config.
+    pub fn build(self) -> RunConfig {
+        self.cfg
     }
 }
 
@@ -282,24 +430,24 @@ pub fn build_swarm_spec(spec: &ScenarioSpec, cfg: &RunConfig) -> (SwarmSpec, Sca
         restart_after: None,
     });
 
-    let swarm_spec = SwarmSpec {
-        seed: cfg.seed.wrapping_add(u64::from(spec.id) * 1_000_003),
-        total_len: u64::from(scaled.pieces) * u64::from(scaled.piece_len),
-        piece_len: scaled.piece_len,
-        real_data: cfg.real_data,
-        duration: cfg.session,
-        base_config: cfg.base_config.clone(),
-        peers,
-        local: Some(local_idx),
-        available_fraction: if spec.transient {
+    let mut builder = SwarmSpec::builder()
+        .seed(cfg.seed.wrapping_add(u64::from(spec.id) * 1_000_003))
+        .pieces(scaled.pieces, scaled.piece_len)
+        .real_data(cfg.real_data)
+        .duration(cfg.session)
+        .base_config(cfg.base_config.clone())
+        .peers(peers)
+        .local(local_idx)
+        .available_fraction(if spec.transient {
             cfg.transient_available
         } else {
             1.0
-        },
-        prepop_completion_max: 0.9,
-        ..SwarmSpec::default()
-    };
-    (swarm_spec, scaled)
+        })
+        .prepop_completion_max(0.9);
+    if let Some(net) = &cfg.net {
+        builder = builder.net(net.clone());
+    }
+    (builder.build(), scaled)
 }
 
 /// Run one Table I scenario end to end.
@@ -496,6 +644,30 @@ mod tests {
         assert!((spec8.available_fraction - cfg.transient_available).abs() < 1e-9);
         let (spec7, _) = build_swarm_spec(&torrent(7), &cfg);
         assert_eq!(spec7.available_fraction, 1.0);
+    }
+
+    #[test]
+    fn builder_mirrors_struct_construction_and_net_reaches_specs() {
+        let built = RunConfig::quick()
+            .into_builder()
+            .seed(7)
+            .session(Duration::from_secs(900))
+            .build();
+        let literal = RunConfig {
+            seed: 7,
+            session: Duration::from_secs(900),
+            ..RunConfig::quick()
+        };
+        assert_eq!(built, literal);
+
+        let wan = RunConfig::quick()
+            .into_builder()
+            .net(bt_sim::NetModel::preset("two_isp_bottleneck").unwrap())
+            .build();
+        let (spec, _) = build_swarm_spec(&torrent(2), &wan);
+        assert!(matches!(spec.net, Some(bt_sim::NetModel::FullDuplex(_))));
+        let (plain, _) = build_swarm_spec(&torrent(2), &RunConfig::quick());
+        assert_eq!(plain.net, None, "no override leaves the spec default");
     }
 
     #[test]

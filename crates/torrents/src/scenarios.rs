@@ -9,6 +9,7 @@
 use bt_core::Config;
 use bt_sim::behavior::{BehaviorProfile, CapacityClass, Role};
 use bt_sim::swarm::SwarmSpec;
+use bt_sim::{NetModel, TopologySpec};
 use bt_wire::peer_id::ClientKind;
 use bt_wire::time::Duration;
 
@@ -37,15 +38,13 @@ impl Default for PresetOptions {
 }
 
 fn base_spec(opts: &PresetOptions, peers: Vec<BehaviorProfile>) -> SwarmSpec {
-    SwarmSpec {
-        seed: opts.seed,
-        total_len: u64::from(opts.pieces) * 256 * 1024,
-        piece_len: 256 * 1024,
-        duration: opts.duration,
-        base_config: opts.config.clone(),
-        peers,
-        ..SwarmSpec::default()
-    }
+    SwarmSpec::builder()
+        .seed(opts.seed)
+        .pieces(opts.pieces, 256 * 1024)
+        .duration(opts.duration)
+        .base_config(opts.config.clone())
+        .peers(peers)
+        .build()
 }
 
 fn dsl_leecher(join_secs: u64) -> BehaviorProfile {
@@ -94,18 +93,46 @@ pub fn mega_flash_crowd(leechers: usize, opts: &PresetOptions) -> SwarmSpec {
         p.seed_linger = Some(Duration::from_secs(180));
         peers.push(p);
     }
-    SwarmSpec {
-        seed: opts.seed,
-        total_len: u64::from(opts.pieces) * 64 * 1024,
-        piece_len: 64 * 1024,
-        duration: opts.duration,
-        base_config: config,
-        peers,
-        available_fraction: 0.0,
-        tracker_response_cap: Some(10),
-        scalable_tracker: true,
-        ..SwarmSpec::default()
-    }
+    SwarmSpec::builder()
+        .seed(opts.seed)
+        .pieces(opts.pieces, 64 * 1024)
+        .duration(opts.duration)
+        .base_config(config)
+        .peers(peers)
+        .available_fraction(0.0)
+        .tracker_response_cap(Some(10))
+        .scalable_tracker(true)
+        .build()
+}
+
+/// Resolve a topology by built-in preset name, panicking with the
+/// valid names on a typo — scenario presets are developer-facing.
+fn named_topology(name: &str) -> TopologySpec {
+    TopologySpec::preset(name).unwrap_or_else(|| {
+        panic!(
+            "unknown topology preset `{name}` (expected one of {:?})",
+            bt_sim::PRESET_NAMES
+        )
+    })
+}
+
+/// A WAN flash crowd: [`flash_crowd`] running over a named full-duplex
+/// topology preset (`homogeneous`, `asymmetric_dsl`,
+/// `two_isp_bottleneck`) — per-direction bandwidth, asymmetric delay
+/// and loss shape who unchokes whom, as on the paper's real torrents.
+pub fn wan_flash_crowd(leechers: usize, topology: &str, opts: &PresetOptions) -> SwarmSpec {
+    let mut spec = flash_crowd(leechers, opts);
+    spec.net = Some(NetModel::FullDuplex(named_topology(topology)));
+    spec
+}
+
+/// A WAN mega-swarm flash crowd: [`mega_flash_crowd`] over a named
+/// topology preset. The shape behind `swarmrun --scenario
+/// flash_crowd_10k --topology asymmetric_dsl`.
+pub fn wan_mega_flash_crowd(leechers: usize, topology: &str, opts: &PresetOptions) -> SwarmSpec {
+    let mut spec = mega_flash_crowd(leechers, opts);
+    spec.net = Some(NetModel::FullDuplex(named_topology(topology)));
+    spec
 }
 
 /// A steady-state swarm: `seeds` seeds plus a prepopulated leecher
@@ -267,6 +294,29 @@ mod tests {
         assert!(!trace
             .iter()
             .any(|(_, e)| matches!(e, TraceEvent::BlockReceived { .. })));
+    }
+
+    #[test]
+    fn wan_flash_crowd_attaches_the_topology_and_completes() {
+        let spec = wan_flash_crowd(8, "asymmetric_dsl", &opts());
+        match &spec.net {
+            Some(NetModel::FullDuplex(t)) => assert_eq!(t.name, "asymmetric_dsl"),
+            other => panic!("expected a full-duplex net model, got {other:?}"),
+        }
+        let mut spec = spec;
+        spec.duration = Duration::from_secs(12_000);
+        let result = Swarm::new(spec).run();
+        assert!(
+            result.completed_peers >= 7,
+            "completed {}",
+            result.completed_peers
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown topology preset")]
+    fn wan_presets_reject_typos() {
+        let _ = wan_mega_flash_crowd(10, "asymetric_dsl", &opts());
     }
 
     #[test]
