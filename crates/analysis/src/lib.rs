@@ -22,6 +22,7 @@ pub mod capacity;
 pub mod clients;
 pub mod entropy;
 pub mod equilibrium;
+pub mod explain;
 pub mod fairness;
 pub mod interarrival;
 pub mod intervals;
@@ -37,6 +38,7 @@ pub use capacity::CapacityCurve;
 pub use clients::{client_breakdown, ClientAggregate, ClientBreakdown};
 pub use entropy::{entropy, EntropySummary, PeerRatios, MIN_MEMBERSHIP_SECS};
 pub use equilibrium::{equilibrium, EquilibriumSummary};
+pub use explain::explain_unhealthy;
 pub use fairness::{fairness, FairnessSummary, StateWindow, NUM_SETS, SET_SIZE};
 pub use interarrival::{InterarrivalAnalysis, SUBSET};
 pub use live::{

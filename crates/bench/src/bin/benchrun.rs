@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Runs five workloads and writes one machine-readable JSON report
-//! (default `BENCH_PR8.json`, for the repo's perf trajectory):
+//! (default `BENCH_PR9.json`, for the repo's perf trajectory):
 //!
 //! 1. **Simulator throughput** — the Table I sweep at seed 42 on 1 and
 //!    8 workers (`--quick`: a 3-torrent subset), reported as events/sec;
@@ -17,7 +17,11 @@
 //!    time-series, health monitors); the extra wall time is the
 //!    `obs_overhead_pct` headline, and every completion time and
 //!    tracker tally must match the bare run — observation that perturbs
-//!    the swarm's behaviour fails the suite. A third run routes the
+//!    the swarm's behaviour fails the suite. The crowd then re-runs
+//!    with the causal tracer sampling at 1/64; the extra wall time is
+//!    the `trace_overhead_pct` headline, and the run digest must match
+//!    the bare run exactly — the tracer hashes ids and never draws
+//!    from the swarm RNG. A further run routes the
 //!    same crowd over the `asymmetric_dsl` full-duplex topology; the
 //!    drop in per-event throughput versus the uniform run is the
 //!    `link_model_overhead_pct` headline (event counts differ between
@@ -90,7 +94,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let compare = flag_str("--compare");
 
     let report = run_suite(quick);
@@ -201,6 +205,27 @@ fn run_suite(quick: bool) -> Value {
         std::process::exit(1);
     }
 
+    // The same crowd with the causal tracer sampling at 1/64: the extra
+    // wall time is the `trace_overhead_pct` headline. The tracer hashes
+    // ids and never draws from the swarm RNG, so even the run digest —
+    // the full deterministic outcome — must match the bare run.
+    eprintln!("[2/5] mega flash crowd again, causal tracer at 1/64 ...");
+    let trace_spec = bt_torrents::scenarios::mega_flash_crowd(mega_peers, &mega_opts);
+    let tracer = bt_obs::Tracer::new(cfg.seed, 64);
+    let t0 = std::time::Instant::now();
+    let mega_traced = Swarm::new(trace_spec).with_trace(tracer.clone()).run();
+    let trace_wall = t0.elapsed().as_secs_f64();
+    let trace_overhead_pct = (trace_wall - mega_wall) / mega_wall.max(1e-9) * 100.0;
+    tracer.flush_local();
+    let trace_events = tracer.to_jsonl().lines().count() as u64;
+    if format!("{:016x}", mega_traced.digest()) != mega_digest {
+        eprintln!(
+            "benchrun: causal tracer perturbed the swarm: digest {:016x} != {mega_digest}",
+            mega_traced.digest()
+        );
+        std::process::exit(1);
+    }
+
     // The same crowd again over the asymmetric_dsl full-duplex
     // topology: per-direction bandwidth caps, loss draws, and the
     // in-order watermark all sit on the hot delivery path, so the
@@ -276,6 +301,7 @@ fn run_suite(quick: bool) -> Value {
         ("sim_events_per_sec_jobs8", Value::Float(sim_eps[1])),
         ("sim_events_per_sec_10k_peers", Value::Float(mega_eps)),
         ("obs_overhead_pct", Value::Float(obs_overhead_pct)),
+        ("trace_overhead_pct", Value::Float(trace_overhead_pct)),
         (
             "link_model_overhead_pct",
             Value::Float(link_model_overhead_pct),
@@ -324,6 +350,9 @@ fn run_suite(quick: bool) -> Value {
                         ("wall_secs", Value::Float(mega_wall)),
                         ("obs_wall_secs", Value::Float(obs_wall)),
                         ("obs_overhead_pct", Value::Float(obs_overhead_pct)),
+                        ("trace_wall_secs", Value::Float(trace_wall)),
+                        ("trace_overhead_pct", Value::Float(trace_overhead_pct)),
+                        ("trace_events", Value::PosInt(trace_events)),
                         ("events", Value::PosInt(mega.events_processed)),
                         (
                             "completed_peers",

@@ -2,18 +2,21 @@
 //!
 //! ```text
 //! swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl]
+//!          [--trace-sample N] [--flight-recorder DIR]
 //!          [--metrics out.jsonl] [--series out.json]
 //!          [--watch-addr 127.0.0.1:PORT] [--watch-linger SECS]
 //!          [--profile out.json] [--status] [--example]
 //! swarmrun --scenario NAME [--peers N] [--seed N]
 //!          [--topology NAME|file.json] [--metrics out.jsonl]
 //!          [--series out.json] [--watch-addr ADDR] [--profile out.json]
-//!          [--status]
+//!          [--trace-sample N] [--flight-recorder DIR] [--status]
 //! swarmrun --table1 [--quick] [--seed N] [--jobs N]
 //!          [--topology NAME|file.json] [--series out.json]
+//!          [--trace out.json] [--trace-sample N] [--flight-recorder DIR]
 //!          [--profile out.json]
 //! swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N]
-//!          [--trace out.jsonl] [--metrics out.jsonl] [--series out.json]
+//!          [--trace out.jsonl] [--trace-sample N] [--flight-recorder DIR]
+//!          [--metrics out.jsonl] [--series out.json]
 //!          [--profile out.json] [--watch-addr 127.0.0.1:PORT] [--status]
 //! ```
 //!
@@ -29,7 +32,20 @@
 //!   topology JSON file (schema: DESIGN.md §10). Works on spec-file,
 //!   `--scenario` and `--table1` runs; the run stays deterministic;
 //! * `--example` prints a complete, runnable spec to stdout and exits;
-//! * `--trace FILE` writes the instrumented peer's trace as JSON lines;
+//! * `--trace FILE` writes the instrumented peer's trace as JSON lines.
+//!   With `--trace-sample` it instead writes the *causal* trace: Chrome
+//!   trace-event JSON (open FILE in Perfetto / `chrome://tracing`) plus
+//!   the sorted deterministic JSONL next to it as `FILE.jsonl`;
+//! * `--trace-sample N` turns on the causal tracer at sampling rate
+//!   `1/N` (piece lifecycles, choke-decision audits, message
+//!   provenance; DESIGN.md §11). Sampling hashes ids with splitmix64 —
+//!   it never touches the swarm RNG, so traced runs replay the same
+//!   digest byte-for-byte. Works in every mode; `--table1` exports one
+//!   JSON object keyed by torrent label;
+//! * `--flight-recorder DIR` keeps a bounded ring of recent trace and
+//!   log events and dumps a self-contained crash bundle into DIR when a
+//!   live-monitor invariant trips, on panic, or on `GET /flightrec`
+//!   (with `--watch-addr`);
 //! * `--metrics FILE` writes `bt-obs` registry snapshots as JSON lines
 //!   (one per sampling period plus a final one) and prints a summary.
 //!   Simulator runs use a virtual-clock registry, so the file is
@@ -105,6 +121,8 @@ fn main() {
     // searching for the spec path.
     let flag_values: Vec<usize> = [
         "--trace",
+        "--trace-sample",
+        "--flight-recorder",
         "--metrics",
         "--series",
         "--profile",
@@ -122,7 +140,7 @@ fn main() {
         .map(|(_, a)| a)
     else {
         eprintln!(
-            "usage: swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--watch-addr ADDR] [--watch-linger SECS] [--profile out.json] [--status] [--example]\n       swarmrun --scenario flash_crowd_1k|flash_crowd_10k|flash_crowd_100k [--peers N] [--seed N] [--topology NAME|file.json] [...]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--topology NAME|file.json] [--series out.json] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--metrics out.jsonl] [--series out.json] [--profile out.json] [--watch-addr ADDR] [--status]"
+            "usage: swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl] [--trace-sample N] [--flight-recorder DIR] [--metrics out.jsonl] [--series out.json] [--watch-addr ADDR] [--watch-linger SECS] [--profile out.json] [--status] [--example]\n       swarmrun --scenario flash_crowd_1k|flash_crowd_10k|flash_crowd_100k [--peers N] [--seed N] [--topology NAME|file.json] [...]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--topology NAME|file.json] [--series out.json] [--trace out.json] [--trace-sample N] [--flight-recorder DIR] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--trace-sample N] [--flight-recorder DIR] [--metrics out.jsonl] [--series out.json] [--profile out.json] [--watch-addr ADDR] [--status]"
         );
         std::process::exit(2);
     };
@@ -221,10 +239,23 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         spec.net_model().label()
     );
     let local = spec.local;
+    // The causal tracer and flight recorder sample on the spec seed.
+    let (tracer, flight) = causal_obs(args, spec.seed);
     let mut swarm = Swarm::new(spec);
-    let registry =
-        (metrics_out.is_some() || series_out.is_some() || watch_addr.is_some() || status)
-            .then(Registry::new_manual);
+    if let Some(t) = &tracer {
+        swarm = swarm.with_trace(t.clone());
+    }
+    if let Some(fr) = &flight {
+        swarm = swarm.with_flight_recorder(fr.clone());
+    }
+    // A flight recorder forces the registry + health monitors on, so the
+    // invariant-trip dump path is armed even without `--metrics`.
+    let registry = (metrics_out.is_some()
+        || series_out.is_some()
+        || watch_addr.is_some()
+        || status
+        || flight.is_some())
+    .then(Registry::new_manual);
     if let Some(reg) = &registry {
         // Virtual-clock registry: the snapshot file is a deterministic
         // function of the spec and seed.
@@ -268,6 +299,12 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         let monitor = swarm.health_monitor().cloned();
         if let Some(m) = monitor {
             server = server.with_health_json(move || m.report().to_json());
+        }
+        if let Some(t) = &tracer {
+            server = server.with_tracer(t.clone());
+        }
+        if let Some(fr) = &flight {
+            server = server.with_flight_recorder(fr.clone());
         }
         match server.local_addr() {
             Ok(bound) => eprintln!("observatory      : http://{bound}/ (dashboard)"),
@@ -343,6 +380,23 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         result.tracker_started, result.tracker_completed
     );
     println!("run digest       : {:016x}", result.digest());
+    if let Some(t) = &tracer {
+        if let Some(path) = &trace_out {
+            write_causal_trace(path, t);
+        } else {
+            t.flush_local();
+            println!(
+                "causal trace     : {} events sampled (pass --trace FILE to export)",
+                t.to_jsonl().lines().count()
+            );
+        }
+        if let Some(fr) = &flight {
+            println!(
+                "flight recorder  : {} recent events in the ring",
+                fr.trace_slice().len()
+            );
+        }
+    }
     if let Some(idx) = local {
         if let Some(t) = result.completion.get(idx).copied().flatten() {
             println!(
@@ -391,12 +445,16 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
             "overhead         : {:.4} control B / data B",
             summary.messages.overhead_ratio()
         );
-        if let Some(path) = trace_out {
-            std::fs::write(&path, trace.to_jsonl()).unwrap_or_else(|e| {
-                eprintln!("swarmrun: cannot write {path}: {e}");
-                std::process::exit(2);
-            });
-            println!("trace written    : {path}");
+        // With `--trace-sample` the `--trace` path carries the causal
+        // trace instead (written above).
+        if tracer.is_none() {
+            if let Some(path) = &trace_out {
+                std::fs::write(path, trace.to_jsonl()).unwrap_or_else(|e| {
+                    eprintln!("swarmrun: cannot write {path}: {e}");
+                    std::process::exit(2);
+                });
+                println!("trace written    : {path}");
+            }
         }
     }
 }
@@ -433,6 +491,11 @@ fn run_net_swarm(args: &[String]) {
     if let Some(n) = flag_value("--seed") {
         spec.seed = n;
     }
+    // Causal tracer: every runtime gets the shared tracer and samples
+    // itself by its virtual-IP hash; the flight recorder serves
+    // `GET /flightrec` and dumps a bundle if a peer thread panics.
+    let (tracer, flight) = causal_obs(args, spec.seed);
+    spec.net.tracer = tracer.clone();
     let registry =
         (metrics_out.is_some() || series_out.is_some() || status || watch_addr.is_some())
             .then(Registry::new_wall);
@@ -471,6 +534,12 @@ fn run_net_swarm(args: &[String]) {
         });
         if let Some(store) = &series {
             server = server.with_series(store.clone());
+        }
+        if let Some(t) = &tracer {
+            server = server.with_tracer(t.clone());
+        }
+        if let Some(fr) = &flight {
+            server = server.with_flight_recorder(fr.clone());
         }
         match server.local_addr() {
             Ok(bound) => eprintln!("observatory      : http://{bound}/ (dashboard)"),
@@ -569,6 +638,16 @@ fn run_net_swarm(args: &[String]) {
         "tracker          : {} started, {} completed announces",
         result.tracker_started, result.tracker_completed
     );
+    if let Some(t) = &tracer {
+        if let Some(path) = &trace_out {
+            write_causal_trace(path, t);
+        } else {
+            println!(
+                "causal trace     : {} events sampled (pass --trace FILE to export)",
+                t.to_jsonl().lines().count()
+            );
+        }
+    }
     for (i, o) in result.outcomes.iter().enumerate() {
         println!(
             "peer {i:2}          : {} {:3} pieces, {} msgs in, {} blocks out, {} ticks",
@@ -607,12 +686,16 @@ fn run_net_swarm(args: &[String]) {
         "overhead         : {:.4} control B / data B",
         summary.messages.overhead_ratio()
     );
-    if let Some(path) = trace_out {
-        std::fs::write(&path, trace.to_jsonl()).unwrap_or_else(|e| {
-            eprintln!("swarmrun: cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-        println!("trace written    : {path}");
+    // With `--trace-sample` the `--trace` path carries the causal trace
+    // instead (written above).
+    if tracer.is_none() {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, trace.to_jsonl()).unwrap_or_else(|e| {
+                eprintln!("swarmrun: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("trace written    : {path}");
+        }
     }
 }
 
@@ -644,6 +727,9 @@ fn run_table1_sweep(args: &[String]) {
     cfg.profile = profile_out.is_some();
     let series_out = flag_str(args, "--series");
     cfg.series = series_out.is_some();
+    cfg.trace_sample = flag_u64(args, "--trace-sample");
+    cfg.flight_dir = flag_str(args, "--flight-recorder");
+    let trace_out = flag_str(args, "--trace");
     if let Some(net) = topology_net(args) {
         eprintln!("table1 network model: {}", net.label());
         cfg.net = Some(net);
@@ -708,6 +794,29 @@ fn run_table1_sweep(args: &[String]) {
             println!("health           : unhealthy at session end: {unhealthy:?}");
         }
     }
+    if let (Some(path), true) = (&trace_out, cfg.trace_sample.is_some()) {
+        // One JSON object keyed by torrent label, in Table I order; each
+        // value is that scenario's Chrome trace-event document. Every
+        // per-scenario trace is deterministic, so the whole file is
+        // byte-identical for any `--jobs`.
+        let mut text = String::from("{");
+        for (i, o) in outcomes.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            let doc = o
+                .trace_chrome
+                .as_deref()
+                .unwrap_or("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+            text.push_str(&format!("\"{}\":{doc}", o.spec.label()));
+        }
+        text.push('}');
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("causal traces    : {path} ({} torrents)", outcomes.len());
+    }
     if let Some(path) = &profile_out {
         // Each scenario profiled its own manual clock; merging in Table
         // I order (the `outcomes` order) is commutative sums, so the
@@ -728,6 +837,43 @@ fn flag_str(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// `--trace-sample N` / `--flight-recorder DIR`: the causal tracer and
+/// flight recorder shared by every mode. Both are seeded from the run
+/// seed, so the sampled id set (and the bundles' `seed` field) is a
+/// function of the spec alone.
+fn causal_obs(
+    args: &[String],
+    seed: u64,
+) -> (Option<bt_obs::Tracer>, Option<bt_obs::FlightRecorder>) {
+    let rate = flag_u64(args, "--trace-sample").unwrap_or(0);
+    let flight = flag_str(args, "--flight-recorder")
+        .map(|dir| bt_obs::FlightRecorder::new(&dir, 4096, seed));
+    let tracer = (rate > 0).then(|| {
+        let t = bt_obs::Tracer::new(seed, rate);
+        match &flight {
+            Some(fr) => t.with_flight(fr.clone()),
+            None => t,
+        }
+    });
+    (tracer, flight)
+}
+
+/// Write the causal trace as Chrome trace-event JSON at `path` plus the
+/// sorted deterministic JSONL at `path.jsonl`.
+fn write_causal_trace(path: &str, tracer: &bt_obs::Tracer) {
+    tracer.flush_local();
+    std::fs::write(path, tracer.to_chrome_json()).unwrap_or_else(|e| {
+        eprintln!("swarmrun: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    let jsonl = format!("{path}.jsonl");
+    std::fs::write(&jsonl, tracer.to_jsonl()).unwrap_or_else(|e| {
+        eprintln!("swarmrun: cannot write {jsonl}: {e}");
+        std::process::exit(2);
+    });
+    println!("causal trace     : {path} (Chrome JSON) + {jsonl} (sorted JSONL)");
 }
 
 /// The integer value following `name`, if present.

@@ -153,6 +153,104 @@ pub struct Engine {
     /// Outcome of the most recent [`rechoke`](Engine::rechoke) round,
     /// for live observers (`None` before the first round).
     last_choke_round: Option<ChokeRoundStats>,
+    /// When set, every rechoke round leaves a full per-peer audit in
+    /// `last_choke_audit` and every piece pick appends to `pick_log`.
+    audit_choke: bool,
+    last_choke_audit: Option<ChokeAudit>,
+    pick_log: Vec<PickEvent>,
+}
+
+/// Slot classification of one peer after a rechoke round, for the
+/// choke-decision audit trail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChokeOutcome {
+    /// Rate-earned regular unchoke slot (leecher state).
+    Regular,
+    /// The optimistic-unchoke slot (leecher state).
+    Optimistic,
+    /// Seed-kept unchoke slot (seed state, §II-C.2).
+    SeedKept,
+    /// Seed-random unchoke slot (seed state).
+    SeedRandom,
+    /// Choked.
+    Choked,
+}
+
+impl ChokeOutcome {
+    /// Stable lowercase name for exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChokeOutcome::Regular => "regular",
+            ChokeOutcome::Optimistic => "optimistic",
+            ChokeOutcome::SeedKept => "seed_kept",
+            ChokeOutcome::SeedRandom => "seed_random",
+            ChokeOutcome::Choked => "choked",
+        }
+    }
+
+    /// Small stable integer for compact trace args.
+    pub fn as_code(&self) -> i64 {
+        match self {
+            ChokeOutcome::Regular => 0,
+            ChokeOutcome::Optimistic => 1,
+            ChokeOutcome::SeedKept => 2,
+            ChokeOutcome::SeedRandom => 3,
+            ChokeOutcome::Choked => 4,
+        }
+    }
+}
+
+/// One peer's line in a [`ChokeAudit`]: the rate inputs the choker
+/// saw, the rank it earned, and the slot outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChokeAuditEntry {
+    /// Connection audited.
+    pub conn: ConnId,
+    /// Remote interest at decision time.
+    pub interested: bool,
+    /// Snub state at decision time (§II-C.2 anti-snubbing).
+    pub snubbed: bool,
+    /// Download rate input (B/s, the leecher-state ranking signal).
+    pub download_rate: f64,
+    /// Upload rate input (B/s).
+    pub upload_rate: f64,
+    /// 0-based position in the round's download-rate ranking.
+    pub rank: u32,
+    /// Slot outcome after the round.
+    pub outcome: ChokeOutcome,
+}
+
+/// Full audit of one rechoke round: every connection's inputs,
+/// ranking, and outcome — the raw material of the choke-decision
+/// audit trail. Produced only after
+/// [`Engine::enable_choke_audit`]; drained by
+/// [`Engine::take_choke_audit`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChokeAudit {
+    /// When the round ran.
+    pub at: Instant,
+    /// Whether the seed-state algorithm decided this round.
+    pub is_seed: bool,
+    /// Holder of the optimistic (leecher) / seed-random slot.
+    pub optimistic: Option<ConnId>,
+    /// Choke-state changes sent this round.
+    pub flips: u32,
+    /// One entry per connection, in rank order.
+    pub entries: Vec<ChokeAuditEntry>,
+}
+
+/// One piece pick, recorded when the choke audit is enabled — the
+/// picker-side input (`availability` at pick time) of a
+/// request-provenance chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PickEvent {
+    /// Connection the request was scheduled on.
+    pub conn: ConnId,
+    /// Piece picked.
+    pub piece: u32,
+    /// Local availability count of that piece at pick time (the
+    /// rarest-first ranking input).
+    pub availability: u32,
 }
 
 /// What one [`Engine::rechoke`] round did, from the engine's local
@@ -266,6 +364,9 @@ impl Engine {
             metrics,
             profiler,
             last_choke_round: None,
+            audit_choke: false,
+            last_choke_audit: None,
+            pick_log: Vec::new(),
         }
     }
 
@@ -1213,6 +1314,15 @@ impl Engine {
             self.endgame_recorded = true;
             self.record(now, TraceEvent::EndGameEntered);
         }
+        if self.audit_choke {
+            for block in &reqs {
+                self.pick_log.push(PickEvent {
+                    conn,
+                    piece: block.piece,
+                    availability: self.availability.count(block.piece),
+                });
+            }
+        }
         for block in reqs {
             self.send(now, conn, Message::Request(block));
         }
@@ -1310,6 +1420,56 @@ impl Engine {
             unchoked,
             reciprocal,
         });
+        if self.audit_choke {
+            // Rank by the leecher-state ranking signal (download rate),
+            // ties broken by key so the audit is deterministic.
+            let mut order: Vec<usize> = (0..snapshots.len()).collect();
+            order.sort_by(|&a, &b| {
+                snapshots[b]
+                    .download_rate
+                    .partial_cmp(&snapshots[a].download_rate)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(snapshots[a].key.cmp(&snapshots[b].key))
+            });
+            let entries = order
+                .iter()
+                .enumerate()
+                .map(|(rank, &i)| {
+                    let s = &snapshots[i];
+                    let outcome = if decision.optimistic == Some(s.key) {
+                        if self.is_seed {
+                            ChokeOutcome::SeedRandom
+                        } else {
+                            ChokeOutcome::Optimistic
+                        }
+                    } else if decision.regular.contains(&s.key) {
+                        if self.is_seed {
+                            ChokeOutcome::SeedKept
+                        } else {
+                            ChokeOutcome::Regular
+                        }
+                    } else {
+                        ChokeOutcome::Choked
+                    };
+                    ChokeAuditEntry {
+                        conn: s.key,
+                        interested: s.interested,
+                        snubbed: s.snubbed,
+                        download_rate: s.download_rate,
+                        upload_rate: s.upload_rate,
+                        rank: rank as u32,
+                        outcome,
+                    }
+                })
+                .collect();
+            self.last_choke_audit = Some(ChokeAudit {
+                at: now,
+                is_seed: self.is_seed,
+                optimistic: decision.optimistic,
+                flips,
+                entries,
+            });
+        }
         if let (Some(m), Some(t0)) = (&self.metrics, round_started) {
             m.choke_rounds.inc();
             m.choke_flips.add(u64::from(flips));
@@ -1325,6 +1485,25 @@ impl Engine {
     /// per-round hook for live health monitors.
     pub fn last_choke_round(&self) -> Option<&ChokeRoundStats> {
         self.last_choke_round.as_ref()
+    }
+
+    /// Turn on the choke/picker audit trail: every subsequent rechoke
+    /// round leaves a [`ChokeAudit`] and every piece pick a
+    /// [`PickEvent`]. Pure observation — enabling it changes no
+    /// decision and consumes no RNG draws.
+    pub fn enable_choke_audit(&mut self) {
+        self.audit_choke = true;
+    }
+
+    /// The audit of the most recent rechoke round, consumed. Drivers
+    /// drain this after each input that may have run a round.
+    pub fn take_choke_audit(&mut self) -> Option<ChokeAudit> {
+        self.last_choke_audit.take()
+    }
+
+    /// Piece picks recorded since the last drain (audit enabled only).
+    pub fn take_pick_log(&mut self) -> Vec<PickEvent> {
+        std::mem::take(&mut self.pick_log)
     }
 
     fn periodic_duties(&mut self, now: Instant) {

@@ -41,6 +41,8 @@ pub use config::Config;
 pub use connection::{ConnId, Connection};
 pub use content::{DataMode, PieceBuffer};
 pub use driver::{Actions, Input};
-pub use engine::{Action, ChokeRoundStats, Engine, PeerCaps};
+pub use engine::{
+    Action, ChokeAudit, ChokeAuditEntry, ChokeOutcome, ChokeRoundStats, Engine, PeerCaps, PickEvent,
+};
 pub use error::EngineError;
 pub use metrics::EngineMetrics;

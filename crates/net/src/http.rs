@@ -13,16 +13,21 @@
 //! * `GET /health` — the latest monitor verdicts, as JSON provided by
 //!   an attached callback (normally
 //!   `bt_analysis::live::HealthReport::to_json`);
+//! * `GET /trace` — Chrome trace-event JSON of an attached causal
+//!   [`bt_obs::Tracer`] (open in Perfetto / `chrome://tracing`);
+//! * `GET /flightrec` — trigger an attached [`bt_obs::FlightRecorder`]
+//!   dump and return the bundle JSON;
 //! * `GET /` — a self-contained HTML/JS dashboard that polls `/series`
 //!   and `/health` and renders live sparklines.
 //!
 //! Snapshots are rendered lazily: a poll pass touches the registry only
 //! when some connection has a complete request head to answer, so an
 //! idle listener costs nothing per pass. One response per connection
-//! (`Connection: close`); unparsable requests get 400, unknown paths
-//! 404, and connections that dawdle past the read deadline are dropped.
+//! (`Connection: close`); unparsable requests get a JSON 400, unknown
+//! paths a JSON 404 listing the routes, and connections that dawdle
+//! past the read deadline are dropped.
 
-use bt_obs::{to_prometheus, Registry, SeriesStore};
+use bt_obs::{to_prometheus, DumpContext, FlightRecorder, Registry, SeriesStore, Tracer};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -49,6 +54,8 @@ pub struct ObsServer {
     registry: Registry,
     series: Option<SeriesStore>,
     health_json: Option<HealthJson>,
+    tracer: Option<Tracer>,
+    flight: Option<FlightRecorder>,
     conns: Vec<HttpConn>,
     read_deadline: Duration,
     max_write_per_pass: usize,
@@ -65,6 +72,8 @@ impl ObsServer {
             registry,
             series: None,
             health_json: None,
+            tracer: None,
+            flight: None,
             conns: Vec::new(),
             read_deadline: Duration::from_secs(10),
             max_write_per_pass: usize::MAX,
@@ -86,6 +95,24 @@ impl ObsServer {
         F: Fn() -> String + Send + Sync + 'static,
     {
         self.health_json = Some(Arc::new(f));
+        self
+    }
+
+    /// Serve `tracer`'s flushed causal events on `GET /trace` as Chrome
+    /// trace-event JSON. Events still sitting in other threads'
+    /// unflushed arenas are not visible until their next batch flush.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> ObsServer {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Serve `recorder` on `GET /flightrec`: each request writes a
+    /// `http`-reason bundle to the recorder's directory and returns the
+    /// same bundle JSON as the response body.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: FlightRecorder) -> ObsServer {
+        self.flight = Some(recorder);
         self
     }
 
@@ -195,7 +222,11 @@ impl ObsServer {
         let mut parts = head.lines().next().unwrap_or("").split_whitespace();
         let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
         if method != "GET" {
-            return http_response("400 Bad Request", "text/plain", b"bad request\n");
+            return http_response(
+                "400 Bad Request",
+                "application/json",
+                b"{\"error\":\"bad request\"}\n",
+            );
         }
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p, q),
@@ -226,8 +257,39 @@ impl ObsServer {
                 };
                 http_response("200 OK", "application/json", body.as_bytes())
             }
+            "/trace" => {
+                let body = match &self.tracer {
+                    Some(t) => t.to_chrome_json(),
+                    None => "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}".to_string(),
+                };
+                http_response("200 OK", "application/json", body.as_bytes())
+            }
+            "/flightrec" => match &self.flight {
+                Some(fr) => {
+                    let health_json = self.health_json.as_ref().map(|f| f());
+                    let ctx = DumpContext {
+                        registry: Some(&self.registry),
+                        health_json: health_json.as_deref(),
+                        explanation: None,
+                        events_processed: 0,
+                    };
+                    let body = fr.bundle_json("http", &ctx);
+                    let _ = fr.dump("http", &ctx);
+                    http_response("200 OK", "application/json", body.as_bytes())
+                }
+                None => http_response(
+                    "200 OK",
+                    "application/json",
+                    b"{\"error\":\"no flight recorder attached\"}\n",
+                ),
+            },
             "/" => http_response("200 OK", "text/html; charset=utf-8", DASHBOARD.as_bytes()),
-            _ => http_response("404 Not Found", "text/plain", b"not found\n"),
+            _ => http_response(
+                "404 Not Found",
+                "application/json",
+                b"{\"error\":\"not found\",\"routes\":[\"/\",\"/metrics\",\"/series\",\
+                  \"/health\",\"/trace\",\"/flightrec\"]}\n",
+            ),
         }
     }
 }
@@ -310,8 +372,13 @@ const DASHBOARD: &str = r##"<!doctype html>
  .chart .val{color:#e8eef5}
  canvas{display:block;background:#10141a;border-radius:2px}
  #err{color:#ff8f8f}
+ #links{margin:0 0 8px}
+ #links a{color:#5da9e9;margin-right:10px;text-decoration:none}
 </style></head><body>
 <h1>swarm observatory</h1>
+<div id="links"><a href="/metrics">metrics</a><a href="/series">series</a>
+<a href="/health">health</a><a href="/trace">trace</a>
+<a href="/flightrec">flightrec</a></div>
 <div id="health">waiting for /health &hellip;</div>
 <div id="err"></div>
 <div id="charts"></div>
@@ -484,8 +551,11 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || get(addr, "/nope"));
         serve_one(&mut server);
-        let (status, _) = handle.join().unwrap();
+        let (status, body) = handle.join().unwrap();
         assert_eq!(status, "HTTP/1.1 404 Not Found");
+        // Machine-readable 404: JSON body listing the route table.
+        assert!(body.starts_with("{\"error\":\"not found\""), "{body}");
+        assert!(body.contains("\"/flightrec\""), "{body}");
 
         let handle = std::thread::spawn(move || {
             let mut stream = TcpStream::connect(addr).unwrap();
@@ -497,6 +567,34 @@ mod tests {
         });
         serve_one(&mut server);
         assert_eq!(handle.join().unwrap(), "HTTP/1.1 400 Bad Request");
+    }
+
+    #[test]
+    fn serves_trace_and_flightrec() {
+        let registry = Registry::new_manual();
+        let tracer = Tracer::new(7, 1);
+        let dir = std::env::temp_dir().join(format!("btflight-http-{}", std::process::id()));
+        let recorder = FlightRecorder::new(&dir, 16, 7);
+        let tracer = tracer.with_flight(recorder.clone());
+        tracer.record(100, bt_obs::TraceCat::Piece, "injected", 3, &[("by", 0)]);
+        tracer.flush_local();
+        let mut server = ObsServer::bind("127.0.0.1:0", registry)
+            .unwrap()
+            .with_tracer(tracer)
+            .with_flight_recorder(recorder);
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || (get(addr, "/trace"), get(addr, "/flightrec")));
+        serve_one(&mut server);
+        let (trace, flight) = handle.join().unwrap();
+        assert_eq!(trace.0, "HTTP/1.1 200 OK");
+        assert!(trace.1.contains("\"traceEvents\""), "{}", trace.1);
+        assert!(trace.1.contains("injected"), "{}", trace.1);
+        assert_eq!(flight.0, "HTTP/1.1 200 OK");
+        assert!(flight.1.contains("\"reason\":\"http\""), "{}", flight.1);
+        assert!(flight.1.contains("injected"), "{}", flight.1);
+        // The request also persisted a bundle file.
+        assert!(std::fs::read_dir(&dir).unwrap().count() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::metrics::NetMetrics;
 use crate::tracker::LoopbackTracker;
 use bt_core::engine::PeerCaps;
 use bt_core::{Action, ConnId, DataMode, Engine, EngineMetrics, Input};
-use bt_obs::{obs_debug, obs_warn, Profiler, Registry};
+use bt_obs::{obs_debug, obs_warn, Profiler, Registry, TraceCat, Tracer};
 use bt_wire::handshake::{Handshake, HANDSHAKE_LEN};
 use bt_wire::message::{BlockRef, Decoder, Message, DEFAULT_MAX_FRAME};
 use bt_wire::peer_id::{IpAddr, PeerId};
@@ -77,6 +77,11 @@ pub struct NetConfig {
     /// `core.handle.*` spans nested inside. `None` (the default)
     /// disables span recording entirely.
     pub profiler: Option<Profiler>,
+    /// Shared causal tracer: when the runtime's peer (hashed by its
+    /// virtual IP) is sampled, every choke round is drained into the
+    /// tracer as a `round` + per-peer `audit` chain. `None` (the
+    /// default) leaves the engine's audit surface disabled.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for NetConfig {
@@ -91,6 +96,7 @@ impl Default for NetConfig {
             metrics: None,
             metrics_label: String::new(),
             profiler: None,
+            tracer: None,
         }
     }
 }
@@ -173,6 +179,7 @@ pub struct NetRuntime {
     dials: Vec<Dial>,
     metrics: NetMetrics,
     profiler: Profiler,
+    tracer: Option<Tracer>,
     counted_complete: bool,
 }
 
@@ -202,6 +209,13 @@ impl NetRuntime {
         if !engine.has_profiler() {
             engine.set_profiler(profiler.clone());
         }
+        let tracer = cfg
+            .tracer
+            .clone()
+            .filter(|t| t.enabled() && t.sample_peer(u64::from(peer_ip(&engine.peer_id()).0)));
+        if tracer.is_some() {
+            engine.enable_choke_audit();
+        }
         Ok(NetRuntime {
             engine,
             data,
@@ -214,6 +228,7 @@ impl NetRuntime {
             dials: Vec::new(),
             metrics,
             profiler,
+            tracer,
             counted_complete: false,
         })
     }
@@ -298,6 +313,11 @@ impl NetRuntime {
                 std::thread::sleep(self.cfg.poll_wait);
             }
         }
+        // Runtimes run on their own threads: push this thread's buffered
+        // trace events into the shared store before the thread exits.
+        if let Some(tracer) = &self.tracer {
+            tracer.flush_local();
+        }
         self.tracker
             .announce(self.engine.ip(), AnnounceEvent::Stopped, 0);
         self.stats()
@@ -310,7 +330,49 @@ impl NetRuntime {
             self.metrics.protocol_errors.inc();
         }
         let batch = actions.take();
+        self.trace_choke_audit(now);
         self.execute(now, batch);
+    }
+
+    /// Drain the engine's choke audit into the causal tracer (`round`
+    /// plus one `audit` per ranked peer). On the socket path the chain
+    /// id is the local peer's virtual-IP hash and `peer` args are local
+    /// [`ConnId`]s — there is no global peer index to resolve to.
+    fn trace_choke_audit(&mut self, now: Instant) {
+        let Some(tracer) = &self.tracer else { return };
+        let Some(audit) = self.engine.take_choke_audit() else {
+            return;
+        };
+        let id = u64::from(peer_ip(&self.engine.peer_id()).0);
+        tracer.record(
+            now.0,
+            TraceCat::Choke,
+            "round",
+            id,
+            &[
+                ("is_seed", i64::from(audit.is_seed)),
+                ("flips", i64::from(audit.flips)),
+                ("peers", audit.entries.len() as i64),
+                ("optimistic", audit.optimistic.map_or(-1, i64::from)),
+            ],
+        );
+        for e in &audit.entries {
+            tracer.record(
+                now.0,
+                TraceCat::Choke,
+                "audit",
+                id,
+                &[
+                    ("peer", i64::from(e.conn)),
+                    ("rank", i64::from(e.rank)),
+                    ("down_bps", e.download_rate as i64),
+                    ("up_bps", e.upload_rate as i64),
+                    ("interested", i64::from(e.interested)),
+                    ("snubbed", i64::from(e.snubbed)),
+                    ("outcome", e.outcome.as_code()),
+                ],
+            );
+        }
     }
 
     fn execute(&mut self, now: Instant, batch: Vec<Action>) {

@@ -318,6 +318,53 @@ mod tests {
         assert_eq!(fields, vec!["7", "8", "9", "10"]);
     }
 
+    /// Draining the ring while another thread is still writing must
+    /// always observe a consistent FIFO window: at most `capacity`
+    /// records, consecutive sequence numbers, oldest first. The lock
+    /// makes eviction + push atomic per record, so a reader can never
+    /// see a gap or a reordering — only an older or newer window.
+    #[test]
+    fn ring_sink_wraparound_order_survives_mid_write_drains() {
+        use std::sync::Arc;
+        let ring = Arc::new(RingSink::new(8));
+        let writer_ring = Arc::clone(&ring);
+        let total = 10_000u64;
+        let writer = std::thread::spawn(move || {
+            for i in 0..total {
+                writer_ring.emit(&Record {
+                    at_micros: i,
+                    level: Level::Debug,
+                    target: "t",
+                    name: "e",
+                    fields: &[("i", FieldValue::U64(i))],
+                });
+            }
+        });
+        let mut drains = 0u64;
+        let mut last_head = 0u64;
+        while !writer.is_finished() {
+            let got: Vec<u64> = ring.records().iter().map(|r| r.at_micros).collect();
+            assert!(got.len() <= 8, "window larger than capacity: {got:?}");
+            for pair in got.windows(2) {
+                assert_eq!(
+                    pair[1],
+                    pair[0] + 1,
+                    "gap or reorder inside a drained window: {got:?}"
+                );
+            }
+            if let Some(&head) = got.first() {
+                assert!(head >= last_head, "window moved backwards: {got:?}");
+                last_head = head;
+            }
+            drains += 1;
+        }
+        writer.join().unwrap();
+        assert!(drains > 0, "reader never overlapped the writer");
+        // After the writer stops the ring holds exactly the newest 8.
+        let got: Vec<u64> = ring.records().iter().map(|r| r.at_micros).collect();
+        assert_eq!(got, (total - 8..total).collect::<Vec<u64>>());
+    }
+
     #[test]
     fn ring_sink_zero_capacity_clamps_to_one() {
         let ring = RingSink::new(0);

@@ -44,6 +44,7 @@ pub mod registry;
 pub mod series;
 pub mod span;
 pub mod time;
+pub mod trace;
 
 pub use event::{
     EventSink, FieldValue, JsonlSink, Level, OwnedRecord, Record, RingSink, StderrSink,
@@ -53,6 +54,7 @@ pub use registry::{buckets, Counter, Gauge, Histogram, HistogramSnapshot, Regist
 pub use series::{SeriesStore, SeriesView};
 pub use span::{Profile, Profiler, SpanGuard, SpanStat};
 pub use time::TimeSource;
+pub use trace::{DumpContext, FlightGuard, FlightRecorder, TraceCat, TraceEvent, Tracer};
 
 /// Emit a structured event at an explicit [`Level`].
 ///

@@ -149,7 +149,7 @@ impl SwarmSpecBuilder {
     }
 
     /// Shorthand: a [`NetModel::Uniform`] with explicit parameters —
-    /// the typed replacement for the deprecated flat
+    /// the typed replacement for the legacy flat
     /// `latency`/`latency_jitter` fields.
     #[must_use]
     pub fn uniform_net(self, latency: Duration, jitter: Duration) -> Self {

@@ -29,6 +29,7 @@ use crate::tracker::{PeerIdx, SimTracker};
 use bt_analysis::live::{HealthMonitor, HealthReport, LiveSample, Thresholds};
 use bt_core::{Action, Config, ConnId, DataMode, Engine, EngineBuilder, Input};
 use bt_instrument::trace::{Trace, TraceMeta};
+use bt_obs::trace::{DumpContext, FlightGuard, FlightRecorder, TraceCat, Tracer};
 use bt_piece::{Bitfield, Geometry};
 use bt_wire::handshake::Handshake;
 use bt_wire::message::{BlockRef, Message};
@@ -39,7 +40,8 @@ use bt_wire::tracker::{AnnounceEvent, PeerEntry};
 use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Specification of a swarm run.
@@ -73,22 +75,19 @@ pub struct SwarmSpec {
     pub available_fraction: f64,
     /// Pre-existing leechers hold `U(0, this)` of the available pieces.
     pub prepop_completion_max: f64,
-    /// Base one-way control-message latency.
+    /// Legacy flat base latency, kept for old JSON specs only.
     ///
-    /// Legacy shim: maps onto a [`UniformLink`](crate::links::UniformLink)
-    /// when [`net`](SwarmSpec::net) is unset (see
-    /// [`net_model`](SwarmSpec::net_model)); ignored otherwise.
-    #[deprecated(note = "use the typed `net` section (SwarmSpec::builder().uniform_net(..))")]
-    pub latency: Duration,
-    /// Additional per-link latency spread: each connection draws a fixed
-    /// extra one-way delay uniformly from `[0, latency_jitter]` when it is
-    /// established. Per-link delay is constant, so TCP's in-order delivery
-    /// is preserved while peers differ in RTT (which subtly biases the
-    /// rate-based choke decisions, as on the real Internet).
-    ///
-    /// Legacy shim: see [`latency`](SwarmSpec::latency).
-    #[deprecated(note = "use the typed `net` section (SwarmSpec::builder().uniform_net(..))")]
-    pub latency_jitter: Duration,
+    /// The typed [`net`](SwarmSpec::net) section replaced this field;
+    /// new code uses `SwarmSpec::builder().uniform_net(..)`. It
+    /// survives (hidden, optional) so that pre-link-layer JSON specs
+    /// keep replaying byte-identically:
+    /// [`net_model`](SwarmSpec::net_model) folds it into a
+    /// [`NetModel::Uniform`] when `net` is unset.
+    #[doc(hidden)]
+    pub latency: Option<Duration>,
+    /// Legacy flat latency jitter — see the `latency` field.
+    #[doc(hidden)]
+    pub latency_jitter: Option<Duration>,
     /// Transfer round length.
     pub transfer_round: Duration,
     /// Availability sampling period for the instrumented peer.
@@ -119,7 +118,7 @@ pub struct SwarmSpec {
     pub sample_global: bool,
     /// Typed network model (see [`NetModel`]): per-link delay, loss and
     /// per-direction bandwidth under a topology, or the flat uniform
-    /// model. `None` falls back to the deprecated flat latency fields —
+    /// model. `None` falls back to the legacy flat latency fields —
     /// old JSON specs keep replaying byte-identically.
     pub net: Option<NetModel>,
 }
@@ -136,16 +135,19 @@ impl SwarmSpec {
     /// [`NetModel::Uniform`] (byte-identical to the pre-link-layer
     /// delivery path).
     pub fn net_model(&self) -> NetModel {
-        #[allow(deprecated)]
         self.net.clone().unwrap_or(NetModel::Uniform {
-            latency: self.latency,
-            jitter: self.latency_jitter,
+            latency: self.latency.unwrap_or(DEFAULT_LATENCY),
+            jitter: self.latency_jitter.unwrap_or(DEFAULT_LATENCY_JITTER),
         })
     }
 }
 
+/// The pre-link-layer uniform network defaults, applied when neither
+/// the typed `net` section nor the legacy JSON fields specify delays.
+const DEFAULT_LATENCY: Duration = Duration(50_000);
+const DEFAULT_LATENCY_JITTER: Duration = Duration(100_000);
+
 impl Default for SwarmSpec {
-    #[allow(deprecated)]
     fn default() -> Self {
         SwarmSpec {
             seed: 1,
@@ -158,8 +160,8 @@ impl Default for SwarmSpec {
             local: None,
             available_fraction: 1.0,
             prepop_completion_max: 0.9,
-            latency: Duration::from_millis(50),
-            latency_jitter: Duration::from_millis(100),
+            latency: None,
+            latency_jitter: None,
             transfer_round: Duration::from_secs(1),
             sample_every: Duration::from_secs(30),
             corrupt_block_prob: 0.0,
@@ -399,6 +401,43 @@ impl SimPeer {
     }
 }
 
+/// Causal lifecycle state of one *sampled* piece (see
+/// [`Swarm::with_trace`]): only pieces the tracer samples ever get an
+/// entry, so the map stays tiny at any swarm scale.
+#[derive(Default)]
+struct PieceLife {
+    /// An `injected` event has been recorded (first holder seen).
+    injected: bool,
+    /// A `first_have` event has been recorded.
+    first_have: bool,
+    /// Peers that verifiably hold the piece (join-time holders plus
+    /// verified downloads).
+    holders: HashSet<PeerIdx>,
+    /// `k_replicated` recorded; provenance recording stops here.
+    done: bool,
+}
+
+/// Piece id a message concerns, if any (the provenance filter).
+fn msg_piece(msg: &Message) -> Option<u32> {
+    match msg {
+        Message::Have(p) => Some(*p),
+        Message::Request(b) | Message::Cancel(b) => Some(b.piece),
+        Message::Piece { block, .. } => Some(block.piece),
+        _ => None,
+    }
+}
+
+/// Compact wire-kind code for trace args (stable across runs).
+fn msg_code(msg: &Message) -> i64 {
+    match msg {
+        Message::Have(_) => 0,
+        Message::Request(_) => 1,
+        Message::Piece { .. } => 2,
+        Message::Cancel(_) => 3,
+        _ => 4,
+    }
+}
+
 /// The swarm simulator. Build with [`Swarm::new`], run with
 /// [`Swarm::run`].
 pub struct Swarm {
@@ -450,6 +489,18 @@ pub struct Swarm {
     download_budget: Vec<u64>,
     /// Static per-round upload budget per peer.
     upload_budget: Vec<u64>,
+    /// Causal trace layer ([`Swarm::with_trace`]); disabled = one
+    /// branch per hook.
+    tracer: Tracer,
+    /// Lifecycle state per sampled piece.
+    piece_life: HashMap<u32, PieceLife>,
+    /// Flight recorder ([`Swarm::with_flight_recorder`]): dumps a
+    /// bundle when a live-monitor invariant trips or the run panics.
+    flight: Option<FlightRecorder>,
+    /// Previous health verdict, to edge-trigger flight dumps.
+    was_healthy: bool,
+    /// Events processed, mirrored for the panic flight guard.
+    events_shared: Arc<AtomicU64>,
 }
 
 impl Swarm {
@@ -622,6 +673,11 @@ impl Swarm {
             queued_blocks: vec![0; n],
             download_budget,
             upload_budget,
+            tracer: Tracer::disabled(),
+            piece_life: HashMap::new(),
+            flight: None,
+            was_healthy: true,
+            events_shared: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -719,6 +775,44 @@ impl Swarm {
         self
     }
 
+    /// Attach a causal [`Tracer`]: sampled piece lifecycles
+    /// (`injected → first_have → block_sent → verified →
+    /// k_replicated`), per-round choke-decision audits on sampled
+    /// peers, and message provenance (`request → send → deliver`)
+    /// while a sampled lifecycle is open. Sampling decisions hash
+    /// piece/peer ids (never the swarm RNG), so digests and §III-C
+    /// traces are byte-identical whether tracing is on or off.
+    #[must_use]
+    pub fn with_trace(mut self, tracer: Tracer) -> Swarm {
+        if tracer.enabled() {
+            // Coverage guarantee: pin the minimal-hash piece and peer so
+            // even a sampling rate above the id count (8-piece presets
+            // at 1/64) exports ≥ 1 complete lifecycle and ≥ 1 audit.
+            tracer.set_universe(
+                u64::from(self.geometry.num_pieces()),
+                self.peers.len() as u64,
+            );
+            for (idx, p) in self.peers.iter_mut().enumerate() {
+                if tracer.sample_peer(idx as u64) {
+                    p.engine.enable_choke_audit();
+                }
+            }
+        }
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a [`FlightRecorder`]: a bounded ring of recent trace
+    /// events plus a log ring, dumped as a self-contained bundle when
+    /// a live-monitor invariant trips ([`with_health`](Swarm::with_health))
+    /// or the run panics. Compose with [`with_trace`](Swarm::with_trace)
+    /// via [`Tracer::with_flight`] so trace events reach the ring.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: FlightRecorder) -> Swarm {
+        self.flight = Some(recorder);
+        self
+    }
+
     fn initial_bitfield(
         profile: &BehaviorProfile,
         num_pieces: u32,
@@ -775,6 +869,10 @@ impl Swarm {
     /// Run to completion: until the event queue drains or the configured
     /// duration elapses.
     pub fn run(mut self) -> SwarmResult {
+        let _flight_guard = self
+            .flight
+            .clone()
+            .map(|fr| FlightGuard::new(fr, self.events_shared.clone()));
         let end = Instant(self.spec.duration.0);
         while let Some(next) = self.queue.peek_time() {
             if next > end {
@@ -785,6 +883,10 @@ impl Swarm {
                 self.queue.pop().expect("peeked")
             };
             self.events_processed += 1;
+            if self.flight.is_some() {
+                self.events_shared
+                    .store(self.events_processed, Ordering::Relaxed);
+            }
             if let Some(m) = &self.metrics {
                 m.registry().time().advance_to(now.0);
                 m.events.inc();
@@ -799,6 +901,7 @@ impl Swarm {
     }
 
     fn finish(mut self, end: Instant) -> SwarmResult {
+        self.tracer.flush_local();
         if let Some(t) = self.profiler.time() {
             t.advance_to(end.0);
         }
@@ -889,6 +992,7 @@ impl Swarm {
         let mut any_live = false;
         let mut leecher_unchokes = 0u64;
         let mut reciprocated = 0u64;
+        let mut worst_starved: Option<(PeerIdx, u64)> = None;
         for (idx, p) in self.peers.iter().enumerate() {
             if !p.alive {
                 continue;
@@ -900,8 +1004,11 @@ impl Swarm {
             if p.engine.is_seed() {
                 continue;
             }
-            self.starvation_scratch
-                .push(now.0.saturating_sub(self.last_progress[idx]) / 1_000_000);
+            let age = now.0.saturating_sub(self.last_progress[idx]) / 1_000_000;
+            self.starvation_scratch.push(age);
+            if worst_starved.is_none_or(|(_, w)| age > w) {
+                worst_starved = Some((idx, age));
+            }
             for conn in p.engine.connections() {
                 if !conn.am_choking {
                     leecher_unchokes += 1;
@@ -921,6 +1028,204 @@ impl Swarm {
                 starvation_secs: &self.starvation_scratch,
             },
         );
+        // Edge-triggered flight-recorder dump: the first observation
+        // where any monitor turns unhealthy writes a bundle.
+        if self.flight.is_some() {
+            let report = monitor.report();
+            let healthy = report.healthy();
+            if self.was_healthy && !healthy {
+                self.dump_flight(&report, worst_starved);
+            }
+            self.was_healthy = healthy;
+        }
+    }
+
+    /// Write a flight-recorder bundle for an invariant trip: reason
+    /// names the tripped monitors, and the explanation is derived from
+    /// the recorder's recent trace slice (worst-starved peer's choke
+    /// history, rarest open sampled piece).
+    fn dump_flight(&self, report: &HealthReport, worst: Option<(PeerIdx, u64)>) {
+        let Some(fr) = &self.flight else { return };
+        let tripped: Vec<&str> = report
+            .monitors
+            .iter()
+            .filter(|m| !m.healthy)
+            .map(|m| m.name)
+            .collect();
+        let reason = format!("invariant:{}", tripped.join("+"));
+        let explanation = bt_analysis::explain::explain_unhealthy(report, worst, &fr.trace_slice());
+        let health_json = report.to_json();
+        let ctx = DumpContext {
+            registry: self.metrics.as_ref().map(|m| m.registry()),
+            health_json: Some(&health_json),
+            explanation: Some(&explanation),
+            events_processed: self.events_processed,
+        };
+        match fr.dump(&reason, &ctx) {
+            Ok(path) => eprintln!("flight recorder: {reason} -> {}", path.display()),
+            Err(e) => eprintln!("flight recorder: dump failed: {e}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Causal trace hooks
+    // ------------------------------------------------------------------
+
+    /// Whether `piece` is sampled and its lifecycle has not reached
+    /// `k_replicated` yet — the gate bounding per-message provenance.
+    fn lifecycle_open(&self, piece: u32) -> bool {
+        self.tracer.sample_piece(piece) && self.piece_life.get(&piece).is_none_or(|l| !l.done)
+    }
+
+    /// Record `injected` for sampled pieces a joining peer already
+    /// holds (seeds and prepopulated leechers) and count the peer as a
+    /// holder toward `k_replicated`.
+    fn trace_join_pieces(&mut self, now: Instant, idx: PeerIdx) {
+        let sampled: Vec<u32> = self.peers[idx]
+            .engine
+            .own_pieces()
+            .iter_ones()
+            .filter(|&p| self.tracer.sample_piece(p))
+            .collect();
+        for piece in sampled {
+            let life = self.piece_life.entry(piece).or_default();
+            if life.done || !life.holders.insert(idx) {
+                continue;
+            }
+            if !life.injected {
+                life.injected = true;
+                self.tracer.record(
+                    now.0,
+                    TraceCat::Piece,
+                    "injected",
+                    piece.into(),
+                    &[("by", idx as i64)],
+                );
+            }
+            self.check_k_replicated(now, piece);
+        }
+    }
+
+    /// Close the lifecycle with `k_replicated` once enough verified
+    /// holders exist.
+    fn check_k_replicated(&mut self, now: Instant, piece: u32) {
+        let k = self.tracer.k_target() as usize;
+        let Some(life) = self.piece_life.get_mut(&piece) else {
+            return;
+        };
+        if !life.done && life.injected && life.holders.len() >= k {
+            life.done = true;
+            self.tracer.record(
+                now.0,
+                TraceCat::Piece,
+                "k_replicated",
+                piece.into(),
+                &[("copies", life.holders.len() as i64)],
+            );
+        }
+    }
+
+    /// A sampled piece passed hash verification on `idx`.
+    fn on_piece_verified(&mut self, now: Instant, idx: PeerIdx, piece: u32) {
+        let life = self.piece_life.entry(piece).or_default();
+        if life.done || !life.holders.insert(idx) {
+            return;
+        }
+        let copies = life.holders.len();
+        self.tracer.record(
+            now.0,
+            TraceCat::Piece,
+            "verified",
+            piece.into(),
+            &[("peer", idx as i64), ("copies", copies as i64)],
+        );
+        self.check_k_replicated(now, piece);
+    }
+
+    /// Message provenance on delivery, plus the `first_have` lifecycle
+    /// edge (where rarest-first advertising becomes visible).
+    fn trace_delivery(&mut self, now: Instant, to: PeerIdx, msg: &Message) {
+        let Some(piece) = msg_piece(msg) else { return };
+        if !self.lifecycle_open(piece) {
+            return;
+        }
+        self.tracer.record(
+            now.0,
+            TraceCat::Msg,
+            "deliver",
+            piece.into(),
+            &[("msg", msg_code(msg)), ("to", to as i64)],
+        );
+        if matches!(msg, Message::Have(_)) {
+            let life = self.piece_life.entry(piece).or_default();
+            if !life.first_have {
+                life.first_have = true;
+                self.tracer.record(
+                    now.0,
+                    TraceCat::Piece,
+                    "first_have",
+                    piece.into(),
+                    &[("to", to as i64)],
+                );
+            }
+        }
+    }
+
+    /// Drain the engine's audit surfaces: piece-pick provenance
+    /// (`request` events carrying the availability the picker saw) and
+    /// the per-round choke audit (`round` plus one `audit` per ranked
+    /// peer, remote resolved from the link table).
+    fn trace_engine_audit(&mut self, now: Instant, idx: PeerIdx) {
+        let picks = self.peers[idx].engine.take_pick_log();
+        for pick in picks {
+            if self.lifecycle_open(pick.piece) {
+                self.tracer.record(
+                    now.0,
+                    TraceCat::Msg,
+                    "request",
+                    pick.piece.into(),
+                    &[
+                        ("peer", idx as i64),
+                        ("avail", i64::from(pick.availability)),
+                    ],
+                );
+            }
+        }
+        let Some(audit) = self.peers[idx].engine.take_choke_audit() else {
+            return;
+        };
+        let remote =
+            |conn: ConnId| -> i64 { self.peers[idx].link(conn).map_or(-1, |s| s.to as i64) };
+        let optimistic = audit.optimistic.map_or(-1, remote);
+        self.tracer.record(
+            now.0,
+            TraceCat::Choke,
+            "round",
+            idx as u64,
+            &[
+                ("is_seed", i64::from(audit.is_seed)),
+                ("flips", i64::from(audit.flips)),
+                ("peers", audit.entries.len() as i64),
+                ("optimistic", optimistic),
+            ],
+        );
+        for e in &audit.entries {
+            self.tracer.record(
+                now.0,
+                TraceCat::Choke,
+                "audit",
+                idx as u64,
+                &[
+                    ("peer", remote(e.conn)),
+                    ("rank", i64::from(e.rank)),
+                    ("down_bps", e.download_rate as i64),
+                    ("up_bps", e.upload_rate as i64),
+                    ("interested", i64::from(e.interested)),
+                    ("snubbed", i64::from(e.snubbed)),
+                    ("outcome", e.outcome.as_code()),
+                ],
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -937,9 +1242,29 @@ impl Swarm {
                     if matches!(msg, Message::Piece { .. }) {
                         self.last_progress[to] = now.0;
                     }
+                    // A watched piece: sampled, lifecycle open, and not
+                    // yet held by the receiver — if the engine holds it
+                    // after `handle`, this delivery verified it.
+                    let watched = if self.tracer.enabled() {
+                        self.trace_delivery(now, to, &msg);
+                        match &msg {
+                            Message::Piece { block, .. } if self.lifecycle_open(block.piece) => {
+                                let piece = block.piece;
+                                (!self.peers[to].engine.own_pieces().get(piece)).then_some(piece)
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
                     self.peers[to]
                         .engine
                         .handle(now, Input::Message { conn, msg });
+                    if let Some(piece) = watched {
+                        if self.peers[to].engine.own_pieces().get(piece) {
+                            self.on_piece_verified(now, to, piece);
+                        }
+                    }
                     self.process_actions(now, to);
                 }
             }
@@ -1014,6 +1339,9 @@ impl Swarm {
             p.alive = true;
         }
         self.last_progress[idx] = now.0;
+        if self.tracer.enabled() {
+            self.trace_join_pieces(now, idx);
+        }
         self.peers[idx].engine.handle(now, Input::Start);
         self.process_actions(now, idx);
         // Stagger rechoke phases so the swarm's choke rounds do not all
@@ -1055,6 +1383,7 @@ impl Swarm {
         // Tear down like a departure...
         self.tracker.remove(idx);
         self.drop_all_links(now, idx);
+        let audited = self.tracer.enabled() && self.tracer.sample_peer(idx as u64);
         // ...then rebuild the engine: same IP, same disk (bitfield), new
         // random peer-ID suffix.
         let p = &mut self.peers[idx];
@@ -1086,6 +1415,9 @@ impl Swarm {
             p.engine.set_metrics(m.engine.clone());
         }
         p.engine.set_profiler(self.profiler.clone());
+        if audited {
+            p.engine.enable_choke_audit();
+        }
         p.was_seed = p.engine.is_seed();
         p.engine.handle(now, Input::Start);
         if let Some(at) = pending {
@@ -1225,6 +1557,9 @@ impl Swarm {
                 self.queue.schedule(now + linger, Ev::Depart(idx));
             }
         }
+        if self.tracer.enabled() {
+            self.trace_engine_audit(now, idx);
+        }
         let actions = self.peers[idx].engine.drain_actions();
         for action in actions {
             match action {
@@ -1302,8 +1637,10 @@ impl Swarm {
             return;
         };
         let mut at = now + slot.params.delay;
+        let mut lost = false;
         if slot.params.loss > 0.0 && self.rng.random_range(0.0..1.0) < slot.params.loss {
             at += slot.params.rto;
+            lost = true;
             if let Some(m) = &self.metrics {
                 m.link_losses.inc();
             }
@@ -1312,11 +1649,31 @@ impl Swarm {
             at = slot.next_free;
         }
         slot.next_free = at;
+        let (to, remote_conn) = (slot.to, slot.remote_conn);
+        if self.tracer.enabled() {
+            if let Some(piece) = msg_piece(&msg) {
+                if self.lifecycle_open(piece) {
+                    self.tracer.record(
+                        now.0,
+                        TraceCat::Msg,
+                        "send",
+                        piece.into(),
+                        &[
+                            ("msg", msg_code(&msg)),
+                            ("from", idx as i64),
+                            ("to", to as i64),
+                            ("delay_us", (at.0 - now.0) as i64),
+                            ("lost", i64::from(lost)),
+                        ],
+                    );
+                }
+            }
+        }
         self.queue.schedule(
             at,
             Ev::Deliver {
-                to: slot.to,
-                conn: slot.remote_conn,
+                to,
+                conn: remote_conn,
                 msg,
             },
         );
@@ -1442,6 +1799,19 @@ impl Swarm {
         to_conn: ConnId,
         block: BlockRef,
     ) {
+        if self.tracer.enabled() && self.lifecycle_open(block.piece) {
+            self.tracer.record(
+                now.0,
+                TraceCat::Piece,
+                "block_sent",
+                block.piece.into(),
+                &[
+                    ("from", from as i64),
+                    ("to", to as i64),
+                    ("offset", i64::from(block.offset)),
+                ],
+            );
+        }
         let mut data = self.data.block_bytes(block.piece, block.block_index());
         if self.spec.corrupt_block_prob > 0.0
             && !data.is_empty()

@@ -73,6 +73,18 @@ pub struct RunConfig {
     /// to rerun Table I under WAN conditions — `swarmrun --table1
     /// --topology asymmetric_dsl` routes through this.
     pub net: Option<NetModel>,
+    /// Attach a causal [`bt_obs::Tracer`] to every swarm, sampling one
+    /// in `N` piece/peer ids (`Some(1)` = everything, `None` = off).
+    /// The deterministic exports land in
+    /// [`ScenarioOutcome::trace_jsonl`] /
+    /// [`ScenarioOutcome::trace_chrome`]. Sampling hashes ids — never
+    /// the swarm RNG — so traced runs stay byte-identical to bare ones.
+    pub trace_sample: Option<u64>,
+    /// Directory for a per-scenario [`bt_obs::FlightRecorder`]: recent
+    /// trace events are kept in a bounded ring and dumped as a
+    /// self-contained bundle on a live-monitor invariant trip (needs
+    /// [`series`](RunConfig::series)) or on panic.
+    pub flight_dir: Option<String>,
 }
 
 impl Default for RunConfig {
@@ -94,6 +106,8 @@ impl Default for RunConfig {
             profile: false,
             series: false,
             net: None,
+            trace_sample: None,
+            flight_dir: None,
         }
     }
 }
@@ -246,6 +260,20 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Attach a causal tracer sampling one in `rate` piece/peer ids.
+    #[must_use]
+    pub fn trace_sample(mut self, rate: u64) -> Self {
+        self.cfg.trace_sample = Some(rate.max(1));
+        self
+    }
+
+    /// Directory for per-scenario flight-recorder bundles.
+    #[must_use]
+    pub fn flight_dir(mut self, dir: impl Into<String>) -> Self {
+        self.cfg.flight_dir = Some(dir.into());
+        self
+    }
+
     /// Finish: returns the assembled config.
     pub fn build(self) -> RunConfig {
         self.cfg
@@ -291,6 +319,13 @@ pub struct ScenarioOutcome {
     /// pure function of the spec and seed: byte-identical across runs
     /// and worker counts.
     pub series: Option<String>,
+    /// Sorted deterministic JSONL causal-trace export, when
+    /// [`RunConfig::trace_sample`] was set. Byte-identical across runs
+    /// and worker counts.
+    pub trace_jsonl: Option<String>,
+    /// Chrome trace-event JSON of the same causal events (open in
+    /// Perfetto / `chrome://tracing`).
+    pub trace_chrome: Option<String>,
 }
 
 /// Scale a Table I row under `cfg`.
@@ -470,6 +505,26 @@ pub fn run_scenario(spec: &ScenarioSpec, cfg: &RunConfig) -> ScenarioOutcome {
     if cfg.profile {
         swarm = swarm.with_profiler(bt_obs::Profiler::new(bt_obs::TimeSource::manual()));
     }
+    // Causal tracer + flight recorder, seeded like the swarm so the
+    // sampled id set is a pure function of (cfg.seed, torrent id).
+    let swarm_seed = cfg.seed.wrapping_add(u64::from(spec.id) * 1_000_003);
+    let flight = cfg
+        .flight_dir
+        .as_ref()
+        .map(|dir| bt_obs::FlightRecorder::new(dir, 4096, swarm_seed));
+    let tracer = cfg.trace_sample.map(|rate| {
+        let t = bt_obs::Tracer::new(swarm_seed, rate);
+        match &flight {
+            Some(fr) => t.with_flight(fr.clone()),
+            None => t,
+        }
+    });
+    if let Some(t) = &tracer {
+        swarm = swarm.with_trace(t.clone());
+    }
+    if let Some(fr) = &flight {
+        swarm = swarm.with_flight_recorder(fr.clone());
+    }
     // Label the trace with the Table I identity.
     let mut result = swarm.run();
     let profile = result.profile.take();
@@ -483,6 +538,8 @@ pub fn run_scenario(spec: &ScenarioSpec, cfg: &RunConfig) -> ScenarioOutcome {
         result,
         profile,
         series: store.map(|s| s.to_json(None)),
+        trace_jsonl: tracer.as_ref().map(bt_obs::Tracer::to_jsonl),
+        trace_chrome: tracer.as_ref().map(bt_obs::Tracer::to_chrome_json),
     }
 }
 
@@ -717,6 +774,24 @@ mod tests {
         );
         let pops = profile.get(&["sim.event_pop"]).expect("root span present");
         assert_eq!(pops.count, profiled.result.events_processed);
+    }
+
+    #[test]
+    fn traced_scenario_matches_bare_run_and_exports_lifecycles() {
+        let bare = run_scenario(&torrent(2), &RunConfig::quick());
+        let traced_cfg = RunConfig::quick().into_builder().trace_sample(1).build();
+        let traced = run_scenario(&torrent(2), &traced_cfg);
+        assert_eq!(
+            bare.trace.events, traced.trace.events,
+            "causal tracing must not perturb the simulation"
+        );
+        let jsonl = traced.trace_jsonl.as_deref().expect("trace requested");
+        assert!(jsonl.contains("\"injected\""), "{jsonl}");
+        assert!(jsonl.contains("\"verified\""), "{jsonl}");
+        assert!(jsonl.contains("\"round\""), "missing choke audit");
+        let chrome = traced.trace_chrome.as_deref().expect("trace requested");
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(bare.trace_jsonl.is_none());
     }
 
     #[test]

@@ -78,6 +78,67 @@ fn mega_fingerprint() -> String {
     )
 }
 
+/// The same fingerprints with the causal tracer on: sampling hashes
+/// piece/peer ids with splitmix64 and never consumes master-RNG draws,
+/// so every line — the per-torrent trace hashes at `trace_sample=2`
+/// and the 10k-peer digest at 1/64 — must stay byte-identical to the
+/// committed fixture.
+#[test]
+fn golden_fingerprints_unchanged_with_causal_tracing_on() {
+    if std::env::var_os("BT_UPDATE_GOLDEN").is_some() {
+        return; // the sibling test regenerates the fixture
+    }
+    let mut actual = String::new();
+    for id in GOLDEN_IDS {
+        let cfg = RunConfig {
+            seed: 42,
+            trace_sample: Some(2),
+            ..RunConfig::quick()
+        };
+        let outcome = run_scenario(&torrent(id), &cfg);
+        let encoded = outcome.trace.to_jsonl();
+        writeln!(
+            actual,
+            "torrent={id} events={} fnv1a64={:016x}",
+            outcome.trace.len(),
+            fnv1a64(encoded.as_bytes())
+        )
+        .unwrap();
+        assert!(
+            outcome.trace_jsonl.is_some(),
+            "torrent {id}: causal trace requested but not exported"
+        );
+    }
+    let opts = bt_repro::torrents::PresetOptions {
+        seed: 42,
+        pieces: 8,
+        duration: bt_repro::wire::time::Duration::from_secs(900),
+        ..Default::default()
+    };
+    let spec = bt_repro::torrents::scenarios::mega_flash_crowd(10_000, &opts);
+    let tracer = bt_repro::obs::Tracer::new(42, 64);
+    let result = Swarm::new(spec).with_trace(tracer.clone()).run();
+    writeln!(
+        actual,
+        "scenario=flash_crowd_10k events={} completed={} digest={:016x}",
+        result.events_processed,
+        result.completed_peers,
+        result.digest()
+    )
+    .unwrap();
+    tracer.flush_local();
+    assert!(
+        !tracer.to_jsonl().is_empty(),
+        "the 10k tracer sampled nothing at 1/64"
+    );
+    let expected = std::fs::read_to_string(fixture_path()).expect("fixture exists");
+    assert_eq!(
+        actual, expected,
+        "causal tracing perturbed the golden fingerprints: traces must \
+         never consume master-RNG draws"
+    );
+}
+
 #[test]
 fn golden_trace_fingerprints_match_fixture() {
     let mut actual = String::new();
