@@ -24,6 +24,7 @@ pub mod entropy;
 pub mod equilibrium;
 pub mod explain;
 pub mod fairness;
+pub mod fleet;
 pub mod interarrival;
 pub mod intervals;
 pub mod live;
@@ -40,6 +41,7 @@ pub use entropy::{entropy, EntropySummary, PeerRatios, MIN_MEMBERSHIP_SECS};
 pub use equilibrium::{equilibrium, EquilibriumSummary};
 pub use explain::explain_unhealthy;
 pub use fairness::{fairness, FairnessSummary, StateWindow, NUM_SETS, SET_SIZE};
+pub use fleet::{fleet_verdicts, FleetVerdict};
 pub use interarrival::{InterarrivalAnalysis, SUBSET};
 pub use live::{
     availability_entropy, HealthMonitor, HealthReport, LiveSample, MonitorVerdict, Thresholds,

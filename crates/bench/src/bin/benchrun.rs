@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Runs five workloads and writes one machine-readable JSON report
-//! (default `BENCH_PR9.json`, for the repo's perf trajectory):
+//! (default `BENCH_PR10.json`, for the repo's perf trajectory):
 //!
 //! 1. **Simulator throughput** — the Table I sweep at seed 42 on 1 and
 //!    8 workers (`--quick`: a 3-torrent subset), reported as events/sec;
@@ -34,11 +34,20 @@
 //! 5. **Self-profile** — a wall-profiled simulator run; the top-10
 //!    self-time spans identify where the engine actually spends time.
 //!
-//! `--compare FILE` re-reads a previous report and exits non-zero if
-//! any headline throughput regressed more than 15 % (current <
-//! 0.85 × baseline). `*_overhead_pct` headlines are lower-is-better:
-//! they regress when the overhead grows more than 15 percentage
-//! points over baseline. Workloads are deterministic; wall
+//! Alongside the report, per-stage span profiles land in
+//! `<out stem>.profiles/` (`mega.json` from a wall-profiled flash-crowd
+//! run, `sim.json` from stage 5) — the raw material `btstat diff` and
+//! the compare path's attribution consume.
+//!
+//! `--compare FILE` re-reads a previous report, always prints the full
+//! per-headline delta table (current value, baseline, delta), and exits
+//! non-zero if any headline throughput regressed more than 15 %
+//! (current < 0.85 × baseline). `*_overhead_pct` headlines are
+//! lower-is-better: they regress when the overhead grows more than 15
+//! percentage points over baseline. On failure, if the baseline has a
+//! `.profiles/` directory next to it, the guilty spans are named:
+//! per-span self-time deltas ranked by contribution to the shift
+//! (`bt_stat::attribute`). Workloads are deterministic; wall
 //! times are not — committed baselines should be relaxed (halved, and
 //! the overhead ceiling raised) so slower CI machines pass.
 
@@ -94,10 +103,10 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let out_path = flag_str("--out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let compare = flag_str("--compare");
 
-    let report = run_suite(quick);
+    let (report, profiles) = run_suite(quick);
     let text = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out_path, text + "\n").unwrap_or_else(|e| {
         eprintln!("benchrun: cannot write {out_path}: {e}");
@@ -105,19 +114,76 @@ fn main() {
     });
     println!("report written   : {out_path}");
 
+    // Per-stage profile artifacts next to the report: `btstat diff` and
+    // the compare path's span attribution both read this layout.
+    let profiles_dir = profiles_dir_for(&out_path);
+    std::fs::create_dir_all(&profiles_dir).unwrap_or_else(|e| {
+        eprintln!("benchrun: cannot create {profiles_dir}: {e}");
+        std::process::exit(2);
+    });
+    for (stage, profile) in &profiles {
+        let path = format!("{profiles_dir}/{stage}.json");
+        std::fs::write(&path, profile.to_json()).unwrap_or_else(|e| {
+            eprintln!("benchrun: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    println!(
+        "profiles written : {profiles_dir}/ ({} stages)",
+        profiles.len()
+    );
+
     if let Some(baseline_path) = compare {
         let regressions = compare_to_baseline(&report, &baseline_path);
         if !regressions.is_empty() {
             for r in &regressions {
                 eprintln!("benchrun: REGRESSION {r}");
             }
+            attribute_regression(&profiles, &baseline_path);
             std::process::exit(1);
         }
         println!("compare          : no headline regressed beyond 15% of {baseline_path}");
     }
 }
 
-fn run_suite(quick: bool) -> Value {
+/// `BENCH.json` → `BENCH.profiles`; extensionless paths just append.
+fn profiles_dir_for(report_path: &str) -> String {
+    format!("{}.profiles", report_path.trim_end_matches(".json"))
+}
+
+/// A compare just failed: name the guilty spans. For every stage whose
+/// profile exists on both sides, rank the per-span self-time deltas by
+/// contribution to the total shift. Missing or unreadable baseline
+/// profiles degrade to a note, never an error — older baselines predate
+/// the artifacts.
+fn attribute_regression(profiles: &[(&'static str, bt_obs::Profile)], baseline_path: &str) {
+    let base_dir = profiles_dir_for(baseline_path);
+    for (stage, current) in profiles {
+        let path = format!("{base_dir}/{stage}.json");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("benchrun: no baseline profile at {path}; skipping span attribution");
+            continue;
+        };
+        let Ok(base) = bt_obs::ProfileDoc::parse(&text) else {
+            eprintln!("benchrun: unparsable baseline profile at {path}; skipping");
+            continue;
+        };
+        let cur = bt_obs::ProfileDoc::parse(&current.to_json()).expect("own profile parses");
+        let deltas = bt_stat::attribute(&base, &cur, 8);
+        if deltas.is_empty() {
+            continue;
+        }
+        eprintln!("benchrun: stage `{stage}` span attribution (self µs, baseline -> current):");
+        for d in &deltas {
+            eprintln!(
+                "  {:<40} {:>10} -> {:>10}  ({:+} µs, {:.1}% of shift)",
+                d.path, d.baseline_self_us, d.value_self_us, d.delta_us, d.share_pct
+            );
+        }
+    }
+}
+
+fn run_suite(quick: bool) -> (Value, Vec<(&'static str, bt_obs::Profile)>) {
     let cfg = if quick {
         RunConfig::quick()
     } else {
@@ -243,6 +309,18 @@ fn run_suite(quick: bool) -> Value {
     let wan_digest = format!("{:016x}", wan.digest());
     let link_model_overhead_pct = (mega_eps - wan_eps) / mega_eps.max(1e-9) * 100.0;
 
+    // One more crowd, wall-profiled, purely as an artifact: the
+    // per-span self times behind the mega headline, for `btstat diff`
+    // and compare-failure attribution. Untimed — profiling overhead
+    // must not leak into any headline.
+    eprintln!("[2/5] mega flash crowd again, wall-profiled (artifact only) ...");
+    let prof_spec = bt_torrents::scenarios::mega_flash_crowd(mega_peers, &mega_opts);
+    let mega_profile = Swarm::new(prof_spec)
+        .with_profiler(Profiler::new(TimeSource::wall()))
+        .run()
+        .profile
+        .expect("profiler attached");
+
     // 3. Loopback TCP throughput.
     eprintln!("[3/5] loopback net swarm ...");
     let pieces: u64 = if quick { 32 } else { 128 };
@@ -331,7 +409,7 @@ fn run_suite(quick: bool) -> Value {
         }
     }
 
-    obj(vec![
+    let report = obj(vec![
         ("schema", Value::Str("bt-repro-bench-v1".to_string())),
         ("quick", Value::Bool(quick)),
         ("seed", Value::PosInt(cfg.seed)),
@@ -404,7 +482,8 @@ fn run_suite(quick: bool) -> Value {
                 ("top_self_spans", Value::Array(top_spans)),
             ]),
         ),
-    ])
+    ]);
+    (report, vec![("mega", mega_profile), ("sim", profile)])
 }
 
 /// Wire-codec and piece-pick microbenches, timed by the shim.
@@ -510,7 +589,9 @@ fn micro_benches(quick: bool) -> Vec<BenchResult> {
 }
 
 /// Compare headlines against `baseline_path`; a returned entry is one
-/// regression message.
+/// regression message. Always prints the full per-headline delta table
+/// (current value, baseline, delta) — trends should be visible well
+/// before they trip the 15 % gate.
 fn compare_to_baseline(report: &Value, baseline_path: &str) -> Vec<String> {
     let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
         eprintln!("benchrun: cannot read {baseline_path}: {e}");
@@ -528,40 +609,58 @@ fn compare_to_baseline(report: &Value, baseline_path: &str) -> Vec<String> {
         .and_then(as_object)
         .expect("our own report has headlines");
     let mut regressions = Vec::new();
-    for (key, base_val) in base_heads {
-        let base = base_val.as_f64().unwrap_or(0.0);
-        let Some(cur) = current.get(key).and_then(Value::as_f64) else {
-            regressions.push(format!("{key}: missing from current report"));
+    println!("compare          : vs {baseline_path}");
+    println!(
+        "  {:<28} {:>12} {:>12} {:>9}",
+        "headline", "value", "baseline", "delta"
+    );
+    // The union of both key sets, baseline-first: a headline missing
+    // from either side still gets a row.
+    let keys: std::collections::BTreeSet<&String> =
+        base_heads.keys().chain(current.keys()).collect();
+    for key in keys {
+        let base = base_heads.get(key.as_str()).and_then(Value::as_f64);
+        let cur = current.get(key.as_str()).and_then(Value::as_f64);
+        let (Some(base), Some(cur)) = (base, cur) else {
+            let (val, note) = match cur {
+                Some(c) => (format!("{c:.3e}"), "new headline, no baseline"),
+                None => ("-".to_string(), "missing from current report"),
+            };
+            println!("  {key:<28} {val:>12} {:>12} {note:>9}", "-");
+            if cur.is_none() {
+                regressions.push(format!("{key}: missing from current report"));
+            }
             continue;
         };
         if key.ends_with("_overhead_pct") {
             // Lower is better, and the sign is meaningful (noise can
             // drive it slightly negative): regress on growth beyond
             // `OVERHEAD_SLACK_POINTS` percentage points over baseline.
+            println!(
+                "  {key:<28} {:>11.1}% {:>11.1}% {:>8.1}pt",
+                cur,
+                base,
+                cur - base
+            );
             if cur > base + OVERHEAD_SLACK_POINTS {
                 regressions.push(format!(
                     "{key}: {cur:.1}% overhead exceeds baseline {base:.1}% + {OVERHEAD_SLACK_POINTS:.0} points"
                 ));
-            } else {
-                println!("compare {key:<28} {cur:.1}% (baseline {base:.1}%)");
             }
             continue;
         }
+        let pct = if base > 0.0 {
+            (cur - base) / base * 100.0
+        } else {
+            0.0
+        };
+        println!("  {key:<28} {cur:>12.3e} {base:>12.3e} {pct:>+8.1}%");
         if base > 0.0 && cur < base * REGRESSION_FLOOR {
             regressions.push(format!(
                 "{key}: {cur:.3e} is {:.1}% of baseline {base:.3e} (floor {:.0}%)",
                 cur / base * 100.0,
                 REGRESSION_FLOOR * 100.0
             ));
-        } else {
-            println!(
-                "compare {key:<28} {:.1}% of baseline",
-                if base > 0.0 {
-                    cur / base * 100.0
-                } else {
-                    100.0
-                }
-            );
         }
     }
     regressions

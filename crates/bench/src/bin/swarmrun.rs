@@ -3,12 +3,13 @@
 //! ```text
 //! swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl]
 //!          [--trace-sample N] [--flight-recorder DIR]
-//!          [--metrics out.jsonl] [--series out.json]
+//!          [--metrics out.jsonl] [--series out.json] [--emit-dir DIR]
 //!          [--watch-addr 127.0.0.1:PORT] [--watch-linger SECS]
 //!          [--profile out.json] [--status] [--example]
 //! swarmrun --scenario NAME [--peers N] [--seed N]
 //!          [--topology NAME|file.json] [--metrics out.jsonl]
-//!          [--series out.json] [--watch-addr ADDR] [--profile out.json]
+//!          [--series out.json] [--emit-dir DIR]
+//!          [--watch-addr ADDR] [--profile out.json]
 //!          [--trace-sample N] [--flight-recorder DIR] [--status]
 //! swarmrun --table1 [--quick] [--seed N] [--jobs N]
 //!          [--topology NAME|file.json] [--series out.json]
@@ -46,6 +47,14 @@
 //!   log events and dumps a self-contained crash bundle into DIR when a
 //!   live-monitor invariant trips, on panic, or on `GET /flightrec`
 //!   (with `--watch-addr`);
+//! * `--emit-dir DIR` drops every artifact for the run in one
+//!   directory in the layout `btstat` ingests: `run.json` (manifest
+//!   with scenario, seed, digest), `metrics.jsonl`, `series.json`,
+//!   `profile.json` and `trace.jsonl` (causal tracer at rate 1 unless
+//!   `--trace-sample` overrides it). Explicit `--metrics`/`--series`/
+//!   `--profile` paths take precedence over the defaults inside DIR.
+//!   Run the same spec with two seeds and feed both directories to
+//!   `btstat merge`, `diff` or `bisect`;
 //! * `--metrics FILE` writes `bt-obs` registry snapshots as JSON lines
 //!   (one per sampling period plus a final one) and prints a summary.
 //!   Simulator runs use a virtual-clock registry, so the file is
@@ -126,6 +135,7 @@ fn main() {
         "--metrics",
         "--series",
         "--profile",
+        "--emit-dir",
         "--watch-addr",
         "--watch-linger",
         "--topology",
@@ -140,7 +150,7 @@ fn main() {
         .map(|(_, a)| a)
     else {
         eprintln!(
-            "usage: swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl] [--trace-sample N] [--flight-recorder DIR] [--metrics out.jsonl] [--series out.json] [--watch-addr ADDR] [--watch-linger SECS] [--profile out.json] [--status] [--example]\n       swarmrun --scenario flash_crowd_1k|flash_crowd_10k|flash_crowd_100k [--peers N] [--seed N] [--topology NAME|file.json] [...]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--topology NAME|file.json] [--series out.json] [--trace out.json] [--trace-sample N] [--flight-recorder DIR] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--trace-sample N] [--flight-recorder DIR] [--metrics out.jsonl] [--series out.json] [--profile out.json] [--watch-addr ADDR] [--status]"
+            "usage: swarmrun <spec.json> [--topology NAME|file.json] [--trace out.jsonl] [--trace-sample N] [--flight-recorder DIR] [--metrics out.jsonl] [--series out.json] [--emit-dir DIR] [--watch-addr ADDR] [--watch-linger SECS] [--profile out.json] [--status] [--example]\n       swarmrun --scenario flash_crowd_1k|flash_crowd_10k|flash_crowd_100k [--peers N] [--seed N] [--topology NAME|file.json] [--emit-dir DIR] [...]\n       swarmrun --table1 [--quick] [--seed N] [--jobs N] [--topology NAME|file.json] [--series out.json] [--trace out.json] [--trace-sample N] [--flight-recorder DIR] [--profile out.json]\n       swarmrun --net [--seeds N] [--leechers N] [--pieces N] [--seed N] [--trace out.jsonl] [--trace-sample N] [--flight-recorder DIR] [--metrics out.jsonl] [--series out.json] [--profile out.json] [--watch-addr ADDR] [--status]"
         );
         std::process::exit(2);
     };
@@ -223,9 +233,19 @@ fn scenario_spec(name: &str, args: &[String]) -> SwarmSpec {
 /// and `--scenario` paths share this).
 fn run_sim(spec: SwarmSpec, args: &[String]) {
     let trace_out = flag_str(args, "--trace");
-    let metrics_out = flag_str(args, "--metrics");
-    let series_out = flag_str(args, "--series");
-    let profile_out = flag_str(args, "--profile");
+    // `--emit-dir` defaults every artifact path into one directory (the
+    // layout `btstat` loads); explicit per-artifact flags still win.
+    let emit_dir = flag_str(args, "--emit-dir");
+    if let Some(dir) = &emit_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot create {dir}: {e}");
+            std::process::exit(2);
+        });
+    }
+    let in_dir = |name: &str| emit_dir.as_ref().map(|d| format!("{d}/{name}"));
+    let metrics_out = flag_str(args, "--metrics").or_else(|| in_dir("metrics.jsonl"));
+    let series_out = flag_str(args, "--series").or_else(|| in_dir("series.json"));
+    let profile_out = flag_str(args, "--profile").or_else(|| in_dir("profile.json"));
     let watch_addr = flag_str(args, "--watch-addr").or_else(|| flag_str(args, "--metrics-addr"));
     let watch_linger = flag_u64(args, "--watch-linger").unwrap_or(0);
     let status = args.iter().any(|a| a == "--status");
@@ -239,8 +259,14 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         spec.net_model().label()
     );
     let local = spec.local;
-    // The causal tracer and flight recorder sample on the spec seed.
-    let (tracer, flight) = causal_obs(args, spec.seed);
+    let seed = spec.seed;
+    // The causal tracer and flight recorder sample on the spec seed;
+    // `--emit-dir` turns the tracer on at rate 1 (every chain) so the
+    // emitted trace.jsonl is bisectable, unless `--trace-sample` says
+    // otherwise. The tracer never touches the swarm RNG, so the digest
+    // stays comparable with un-traced runs.
+    let default_rate = if emit_dir.is_some() { 1 } else { 0 };
+    let (tracer, flight) = causal_obs(args, seed, default_rate);
     let mut swarm = Swarm::new(spec);
     if let Some(t) = &tracer {
         swarm = swarm.with_trace(t.clone());
@@ -277,8 +303,13 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         (Some(reg), Some(path)) => Some(MetricsFlushGuard::new(reg.clone(), path.clone())),
         _ => None,
     };
-    if profile_out.is_some() {
-        swarm = swarm.with_profiler(Profiler::new(TimeSource::manual()));
+    // Keep a handle so `--watch-addr` can serve `/profile` mid-run; the
+    // final write still uses the snapshot the swarm returns.
+    let profiler = profile_out
+        .as_ref()
+        .map(|_| Profiler::new(TimeSource::manual()));
+    if let Some(p) = &profiler {
+        swarm = swarm.with_profiler(p.clone());
     }
 
     // `--watch-addr`: the simulator itself is synchronous, so the
@@ -305,6 +336,9 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         }
         if let Some(fr) = &flight {
             server = server.with_flight_recorder(fr.clone());
+        }
+        if let Some(p) = &profiler {
+            server = server.with_profiler(p.clone());
         }
         match server.local_addr() {
             Ok(bound) => eprintln!("observatory      : http://{bound}/ (dashboard)"),
@@ -380,6 +414,34 @@ fn run_sim(spec: SwarmSpec, args: &[String]) {
         result.tracker_started, result.tracker_completed
     );
     println!("run digest       : {:016x}", result.digest());
+    if let Some(dir) = &emit_dir {
+        // Finish the directory: the sorted deterministic trace plus the
+        // manifest that names the run for `btstat`.
+        if let Some(t) = &tracer {
+            t.flush_local();
+            let path = format!("{dir}/trace.jsonl");
+            std::fs::write(&path, t.to_jsonl()).unwrap_or_else(|e| {
+                eprintln!("swarmrun: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+        }
+        let scenario = flag_str(args, "--scenario").unwrap_or_else(|| "spec".to_string());
+        let manifest = bt_stat::artifacts::manifest_json(
+            &scenario,
+            seed,
+            peers as u64,
+            pieces,
+            result.events_processed,
+            result.completed_peers as u64,
+            &format!("{:016x}", result.digest()),
+        );
+        let path = format!("{dir}/run.json");
+        std::fs::write(&path, manifest).unwrap_or_else(|e| {
+            eprintln!("swarmrun: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("artifacts        : {dir}/ (run.json, metrics.jsonl, series.json, profile.json, trace.jsonl)");
+    }
     if let Some(t) = &tracer {
         if let Some(path) = &trace_out {
             write_causal_trace(path, t);
@@ -494,7 +556,7 @@ fn run_net_swarm(args: &[String]) {
     // Causal tracer: every runtime gets the shared tracer and samples
     // itself by its virtual-IP hash; the flight recorder serves
     // `GET /flightrec` and dumps a bundle if a peer thread panics.
-    let (tracer, flight) = causal_obs(args, spec.seed);
+    let (tracer, flight) = causal_obs(args, spec.seed, 0);
     spec.net.tracer = tracer.clone();
     let registry =
         (metrics_out.is_some() || series_out.is_some() || status || watch_addr.is_some())
@@ -540,6 +602,9 @@ fn run_net_swarm(args: &[String]) {
         }
         if let Some(fr) = &flight {
             server = server.with_flight_recorder(fr.clone());
+        }
+        if let Some(p) = &profiler {
+            server = server.with_profiler(p.clone());
         }
         match server.local_addr() {
             Ok(bound) => eprintln!("observatory      : http://{bound}/ (dashboard)"),
@@ -842,12 +907,14 @@ fn flag_str(args: &[String], name: &str) -> Option<String> {
 /// `--trace-sample N` / `--flight-recorder DIR`: the causal tracer and
 /// flight recorder shared by every mode. Both are seeded from the run
 /// seed, so the sampled id set (and the bundles' `seed` field) is a
-/// function of the spec alone.
+/// function of the spec alone. `default_rate` applies when the flag is
+/// absent (`--emit-dir` passes 1; everything else 0 = off).
 fn causal_obs(
     args: &[String],
     seed: u64,
+    default_rate: u64,
 ) -> (Option<bt_obs::Tracer>, Option<bt_obs::FlightRecorder>) {
-    let rate = flag_u64(args, "--trace-sample").unwrap_or(0);
+    let rate = flag_u64(args, "--trace-sample").unwrap_or(default_rate);
     let flight = flag_str(args, "--flight-recorder")
         .map(|dir| bt_obs::FlightRecorder::new(&dir, 4096, seed));
     let tracer = (rate > 0).then(|| {

@@ -17,6 +17,8 @@
 //!   [`bt_obs::Tracer`] (open in Perfetto / `chrome://tracing`);
 //! * `GET /flightrec` — trigger an attached [`bt_obs::FlightRecorder`]
 //!   dump and return the bundle JSON;
+//! * `GET /profile` — JSON call-tree snapshot of an attached
+//!   [`bt_obs::Profiler`] (the same document `--profile` writes);
 //! * `GET /` — a self-contained HTML/JS dashboard that polls `/series`
 //!   and `/health` and renders live sparklines.
 //!
@@ -27,7 +29,7 @@
 //! paths a JSON 404 listing the routes, and connections that dawdle
 //! past the read deadline are dropped.
 
-use bt_obs::{to_prometheus, DumpContext, FlightRecorder, Registry, SeriesStore, Tracer};
+use bt_obs::{to_prometheus, DumpContext, FlightRecorder, Profiler, Registry, SeriesStore, Tracer};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -56,6 +58,7 @@ pub struct ObsServer {
     health_json: Option<HealthJson>,
     tracer: Option<Tracer>,
     flight: Option<FlightRecorder>,
+    profiler: Option<Profiler>,
     conns: Vec<HttpConn>,
     read_deadline: Duration,
     max_write_per_pass: usize,
@@ -74,6 +77,7 @@ impl ObsServer {
             health_json: None,
             tracer: None,
             flight: None,
+            profiler: None,
             conns: Vec::new(),
             read_deadline: Duration::from_secs(10),
             max_write_per_pass: usize::MAX,
@@ -113,6 +117,15 @@ impl ObsServer {
     #[must_use]
     pub fn with_flight_recorder(mut self, recorder: FlightRecorder) -> ObsServer {
         self.flight = Some(recorder);
+        self
+    }
+
+    /// Serve `profiler`'s aggregated call-tree snapshot on
+    /// `GET /profile` (the same JSON document `--profile` writes).
+    /// Spans still open on other threads appear once they close.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> ObsServer {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -283,12 +296,19 @@ impl ObsServer {
                     b"{\"error\":\"no flight recorder attached\"}\n",
                 ),
             },
+            "/profile" => {
+                let body = match &self.profiler {
+                    Some(p) => p.snapshot().to_json(),
+                    None => "{\"spans\":[],\"flat\":[]}".to_string(),
+                };
+                http_response("200 OK", "application/json", body.as_bytes())
+            }
             "/" => http_response("200 OK", "text/html; charset=utf-8", DASHBOARD.as_bytes()),
             _ => http_response(
                 "404 Not Found",
                 "application/json",
                 b"{\"error\":\"not found\",\"routes\":[\"/\",\"/metrics\",\"/series\",\
-                  \"/health\",\"/trace\",\"/flightrec\"]}\n",
+                  \"/health\",\"/trace\",\"/flightrec\",\"/profile\"]}\n",
             ),
         }
     }
@@ -378,7 +398,7 @@ const DASHBOARD: &str = r##"<!doctype html>
 <h1>swarm observatory</h1>
 <div id="links"><a href="/metrics">metrics</a><a href="/series">series</a>
 <a href="/health">health</a><a href="/trace">trace</a>
-<a href="/flightrec">flightrec</a></div>
+<a href="/flightrec">flightrec</a><a href="/profile">profile</a></div>
 <div id="health">waiting for /health &hellip;</div>
 <div id="err"></div>
 <div id="charts"></div>
@@ -556,6 +576,7 @@ mod tests {
         // Machine-readable 404: JSON body listing the route table.
         assert!(body.starts_with("{\"error\":\"not found\""), "{body}");
         assert!(body.contains("\"/flightrec\""), "{body}");
+        assert!(body.contains("\"/profile\""), "{body}");
 
         let handle = std::thread::spawn(move || {
             let mut stream = TcpStream::connect(addr).unwrap();
@@ -595,6 +616,33 @@ mod tests {
         // The request also persisted a bundle file.
         assert!(std::fs::read_dir(&dir).unwrap().count() >= 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serves_profile_snapshot() {
+        let profiler = Profiler::new(bt_obs::TimeSource::manual());
+        let time = profiler.time().unwrap().clone();
+        {
+            let _g = profiler.span("tick");
+            time.advance_to(250);
+        }
+        let mut server = ObsServer::bind("127.0.0.1:0", Registry::new_manual())
+            .unwrap()
+            .with_profiler(profiler);
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || get(addr, "/profile"));
+        serve_one(&mut server);
+        let (status, body) = handle.join().unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"path\":\"tick\""), "{body}");
+        assert!(body.contains("\"total_us\":250"), "{body}");
+
+        // Without a profiler the route answers the empty document.
+        let mut bare = ObsServer::bind("127.0.0.1:0", Registry::new_manual()).unwrap();
+        let addr = bare.local_addr().unwrap();
+        let handle = std::thread::spawn(move || get(addr, "/profile"));
+        serve_one(&mut bare);
+        assert_eq!(handle.join().unwrap().1, "{\"spans\":[],\"flat\":[]}");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod event;
 pub mod export;
 pub mod registry;
+pub mod schema;
 pub mod series;
 pub mod span;
 pub mod time;
@@ -51,6 +52,10 @@ pub use event::{
 };
 pub use export::{summary_text, to_prometheus};
 pub use registry::{buckets, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use schema::{
+    parse_json, HistogramDoc, JsonValue, MetricsDoc, ProfileDoc, SchemaError, SeriesDoc,
+    SeriesEntry, SpanDoc, TraceEventDoc,
+};
 pub use series::{SeriesStore, SeriesView};
 pub use span::{Profile, Profiler, SpanGuard, SpanStat};
 pub use time::TimeSource;

@@ -1,0 +1,1037 @@
+//! Owned, parseable schema for every artifact this crate exports.
+//!
+//! The live types ([`Snapshot`](crate::Snapshot),
+//! [`Profile`](crate::Profile), [`SeriesStore`](crate::SeriesStore),
+//! [`TraceEvent`](crate::TraceEvent)) borrow `&'static str` names and
+//! only *emit* JSON — fine inside one process, useless for offline
+//! fleet analytics that must read artifacts back from disk. This module
+//! is the read side of the contract: one owned document type per export
+//! format, a parser for the exact bytes the writers produce, a
+//! commutative `merge` for cross-run aggregation, and a deterministic
+//! `to_json` that mirrors the writer's layout. `parse(doc.to_json()) ==
+//! doc` holds for every type, so fleet reports built from merged
+//! documents are byte-identical regardless of input order.
+//!
+//! Quantiles over merged histograms follow the same convention as
+//! [`HistogramSnapshot`](crate::HistogramSnapshot): the upper bound of
+//! the bucket holding the rank-q sample, with overflow clamped to the
+//! largest *recorded* finite bound (a parsed document no longer knows
+//! the instrument's configured bound list).
+//!
+//! Like the rest of `bt-obs` this is dependency-free: the module
+//! carries its own minimal JSON reader ([`parse_json`]) instead of
+//! pulling a serde crate under every instrumented component.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::series::json_f64;
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------
+
+/// A parsed JSON tree. Integers keep their exact magnitude (`U64` /
+/// `I64`) so counters and microsecond timestamps survive a round trip;
+/// anything with a fraction or exponent becomes `F64`. Object keys are
+/// sorted (every writer in this crate emits them sorted already).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object, sorted by key.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// As `u64` if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(n) => Some(*n),
+            JsonValue::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::U64(n) => i64::try_from(*n).ok(),
+            JsonValue::I64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// As `f64` (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(n) => Some(*n as f64),
+            JsonValue::I64(n) => Some(*n as f64),
+            JsonValue::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// As `&str` if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As the member list if an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As the key map if an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (`None` on non-objects too).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Schema parse error: what was expected and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaError(String);
+
+impl SchemaError {
+    fn new(msg: impl Into<String>) -> SchemaError {
+        SchemaError(msg.into())
+    }
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Parse a complete JSON document (rejects trailing garbage).
+pub fn parse_json(input: &str) -> Result<JsonValue, SchemaError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(input, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(SchemaError::new(format!(
+            "trailing characters at byte {pos}"
+        )));
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(input: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, SchemaError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(SchemaError::new("unexpected end of input")),
+        Some(b'n') => lit(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => lit(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => lit(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(input, bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(input, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(SchemaError::new(format!("expected `,` or `]` at {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(input, bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(SchemaError::new(format!("expected `:` at {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(input, bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(map));
+                    }
+                    _ => return Err(SchemaError::new(format!("expected `,` or `}}` at {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(input, bytes, pos),
+    }
+}
+
+fn lit(bytes: &[u8], pos: &mut usize, word: &str) -> Result<(), SchemaError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(SchemaError::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, SchemaError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(SchemaError::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(SchemaError::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = input
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| SchemaError::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| SchemaError::new("invalid \\u escape"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(SchemaError::new(format!("invalid escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                let c = input[*pos..].chars().next().expect("in-bounds char");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(input: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, SchemaError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = &input[start..*pos];
+    if text.is_empty() || text == "-" {
+        return Err(SchemaError::new(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if let Some(neg) = text.strip_prefix('-') {
+            if let Ok(n) = neg.parse::<u64>() {
+                if let Ok(i) = i64::try_from(n) {
+                    return Ok(JsonValue::I64(-i));
+                }
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(JsonValue::U64(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::F64)
+        .map_err(|_| SchemaError::new(format!("invalid number `{text}`")))
+}
+
+fn expected(what: &str, ctx: &str) -> SchemaError {
+    SchemaError::new(format!("{ctx}: expected {what}"))
+}
+
+// ---------------------------------------------------------------------
+// Metrics snapshots (the `--metrics` JSONL format)
+// ---------------------------------------------------------------------
+
+/// Owned histogram, parsed from a snapshot line or a profile document.
+///
+/// `buckets` keeps the non-empty finite buckets as sorted
+/// `(upper_bound, count)` pairs, exactly as the writers emit them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramDoc {
+    /// Observation count (finite buckets plus overflow).
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty finite buckets as sorted `(upper_bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+    /// Observations above the last finite bound.
+    pub overflow: u64,
+}
+
+impl HistogramDoc {
+    /// Fold `other` in: bucket counts merge by bound, count/sum/overflow
+    /// add. Commutative and associative.
+    pub fn merge(&mut self, other: &HistogramDoc) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.overflow += other.overflow;
+        let mut merged: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(b, c) in &other.buckets {
+            *merged.entry(b).or_default() += c;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+
+    /// Deterministic integer quantile over the merged buckets: the
+    /// upper bound of the bucket holding the rank-q sample, with
+    /// overflow clamped to the largest recorded finite bound (0 when
+    /// the histogram is empty or entirely overflow with no finite
+    /// buckets to clamp to).
+    pub fn quantile(&self, q_num: u64, q_den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * q_num).div_ceil(q_den).max(1);
+        let mut seen = 0u64;
+        for &(b, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return b;
+            }
+        }
+        self.buckets.last().map(|&(b, _)| b).unwrap_or(0)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.quantile(50, 100),
+            self.quantile(95, 100),
+            self.quantile(99, 100)
+        ));
+        for (j, (le, c)) in self.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{le},{c}]"));
+        }
+        out.push_str(&format!("],\"overflow\":{}}}", self.overflow));
+    }
+
+    fn from_value(v: &JsonValue, ctx: &str) -> Result<HistogramDoc, SchemaError> {
+        let obj = v.as_object().ok_or_else(|| expected("object", ctx))?;
+        let num = |key: &str| obj.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let mut buckets = Vec::new();
+        if let Some(raw) = obj.get("buckets").and_then(JsonValue::as_array) {
+            for pair in raw {
+                let pair = pair
+                    .as_array()
+                    .ok_or_else(|| expected("[bound,count] pair", ctx))?;
+                let (Some(b), Some(c)) = (
+                    pair.first().and_then(JsonValue::as_u64),
+                    pair.get(1).and_then(JsonValue::as_u64),
+                ) else {
+                    return Err(expected("integer bucket pair", ctx));
+                };
+                buckets.push((b, c));
+            }
+        }
+        buckets.sort_unstable();
+        Ok(HistogramDoc {
+            count: num("count"),
+            sum: num("sum"),
+            buckets,
+            overflow: num("overflow"),
+        })
+    }
+}
+
+/// One owned metrics snapshot: the parse of a
+/// [`Snapshot::to_jsonl_line`](crate::Snapshot::to_jsonl_line).
+/// Labeled instruments keep their `name{label}` keys.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsDoc {
+    /// Snapshot timestamp (µs); a merge keeps the max.
+    pub at_micros: u64,
+    /// Counter values by `name` / `name{label}`.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by `name` / `name{label}`.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by `name` / `name{label}`.
+    pub histograms: BTreeMap<String, HistogramDoc>,
+}
+
+impl MetricsDoc {
+    /// Parse one snapshot line (the `--metrics` JSONL format).
+    pub fn parse_line(line: &str) -> Result<MetricsDoc, SchemaError> {
+        let v = parse_json(line)?;
+        let mut doc = MetricsDoc {
+            at_micros: v.get("t").and_then(JsonValue::as_u64).unwrap_or(0),
+            ..MetricsDoc::default()
+        };
+        if let Some(counters) = v.get("counters").and_then(JsonValue::as_object) {
+            for (k, val) in counters {
+                doc.counters.insert(
+                    k.clone(),
+                    val.as_u64()
+                        .ok_or_else(|| expected("u64 counter", "metrics"))?,
+                );
+            }
+        }
+        if let Some(gauges) = v.get("gauges").and_then(JsonValue::as_object) {
+            for (k, val) in gauges {
+                doc.gauges.insert(
+                    k.clone(),
+                    val.as_i64()
+                        .ok_or_else(|| expected("i64 gauge", "metrics"))?,
+                );
+            }
+        }
+        if let Some(hists) = v.get("histograms").and_then(JsonValue::as_object) {
+            for (k, val) in hists {
+                doc.histograms
+                    .insert(k.clone(), HistogramDoc::from_value(val, "metrics")?);
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Parse a whole `--metrics` file: one snapshot per non-empty line.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<MetricsDoc>, SchemaError> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(MetricsDoc::parse_line)
+            .collect()
+    }
+
+    /// Fold `other` in: counters and gauges sum, histograms bucket-merge
+    /// (fleet-wide quantiles recompute from the merged buckets), the
+    /// timestamp keeps the max. Commutative and associative.
+    pub fn merge(&mut self, other: &MetricsDoc) {
+        self.at_micros = self.at_micros.max(other.at_micros);
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_default() += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Serialize in the snapshot-line layout (sorted keys, quantiles
+    /// recomputed from the stored buckets). Deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"t\":");
+        out.push_str(&self.at_micros.to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_string_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_string_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_string_key(&mut out, k);
+            h.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_string_key(out: &mut String, key: &str) {
+    out.push('"');
+    crate::export::escape_json_into(out, key);
+    out.push_str("\":");
+}
+
+// ---------------------------------------------------------------------
+// Span profiles (the `--profile` JSON format)
+// ---------------------------------------------------------------------
+
+/// Owned stats for one span path, parsed from a profile document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanDoc {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total elapsed µs.
+    pub total_us: u64,
+    /// Elapsed µs not attributed to child spans.
+    pub self_us: u64,
+    /// Duration histogram (finite buckets + overflow from the `"inf"`
+    /// slot).
+    pub buckets: HistogramDoc,
+}
+
+impl SpanDoc {
+    /// Fold `other` in (commutative sums, like
+    /// [`Profile::merge`](crate::Profile::merge)).
+    pub fn merge(&mut self, other: &SpanDoc) {
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.self_us += other.self_us;
+        self.buckets.merge(&other.buckets);
+    }
+}
+
+/// Owned call-tree profile: the parse of a
+/// [`Profile::to_json`](crate::Profile::to_json). Paths are the
+/// `/`-joined span names split back into segments.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileDoc {
+    /// Per-path stats, sorted by path (preorder DFS of the call tree).
+    pub spans: BTreeMap<Vec<String>, SpanDoc>,
+}
+
+impl ProfileDoc {
+    /// Parse a profile document (the `"spans"` array; the redundant
+    /// `"flat"` table is recomputed, not stored).
+    pub fn parse(text: &str) -> Result<ProfileDoc, SchemaError> {
+        let v = parse_json(text)?;
+        let spans = v
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| expected("spans array", "profile"))?;
+        let mut doc = ProfileDoc::default();
+        for span in spans {
+            let path: Vec<String> = span
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| expected("path string", "profile"))?
+                .split('/')
+                .map(str::to_string)
+                .collect();
+            let num = |key: &str| span.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let mut buckets = Vec::new();
+            let mut overflow = 0u64;
+            if let Some(raw) = span.get("buckets").and_then(JsonValue::as_array) {
+                for pair in raw {
+                    let pair = pair
+                        .as_array()
+                        .ok_or_else(|| expected("bucket pair", "profile"))?;
+                    let c = pair
+                        .get(1)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| expected("bucket count", "profile"))?;
+                    match pair.first() {
+                        Some(JsonValue::Str(s)) if s == "inf" => overflow += c,
+                        Some(b) => buckets.push((
+                            b.as_u64()
+                                .ok_or_else(|| expected("bucket bound", "profile"))?,
+                            c,
+                        )),
+                        None => return Err(expected("bucket bound", "profile")),
+                    }
+                }
+            }
+            buckets.sort_unstable();
+            let count = num("count");
+            doc.spans.insert(
+                path,
+                SpanDoc {
+                    count,
+                    total_us: num("total_us"),
+                    self_us: num("self_us"),
+                    buckets: HistogramDoc {
+                        count,
+                        sum: num("total_us"),
+                        buckets,
+                        overflow,
+                    },
+                },
+            );
+        }
+        Ok(doc)
+    }
+
+    /// Fold `other` in (commutative sums per path).
+    pub fn merge(&mut self, other: &ProfileDoc) {
+        for (path, stat) in &other.spans {
+            self.spans.entry(path.clone()).or_default().merge(stat);
+        }
+    }
+
+    /// Flat per-leaf-name aggregate, sorted by name.
+    pub fn flat(&self) -> BTreeMap<String, SpanDoc> {
+        let mut by_name: BTreeMap<String, SpanDoc> = BTreeMap::new();
+        for (path, stat) in &self.spans {
+            if let Some(leaf) = path.last() {
+                by_name.entry(leaf.clone()).or_default().merge(stat);
+            }
+        }
+        by_name
+    }
+
+    /// Serialize in the [`Profile::to_json`](crate::Profile::to_json)
+    /// layout (spans in path order, then the flat table). Deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"spans\":[");
+        for (i, (path, stat)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":\"");
+            crate::export::escape_json_into(&mut out, &path.join("/"));
+            out.push_str("\",\"depth\":");
+            out.push_str(&path.len().saturating_sub(1).to_string());
+            push_span_fields(&mut out, stat);
+            out.push('}');
+        }
+        out.push_str("],\"flat\":[");
+        for (i, (name, stat)) in self.flat().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            crate::export::escape_json_into(&mut out, name);
+            out.push('"');
+            push_span_fields(&mut out, stat);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Collapsed-stack flamegraph export (the format `inferno` and
+    /// speedscope ingest): one line per span path, frames joined by
+    /// `;`, the sample value is the span's *self* time in µs — so
+    /// stacking the lines reconstructs total time exactly, with no
+    /// double counting of child spans.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::with_capacity(self.spans.len() * 48);
+        for (path, stat) in &self.spans {
+            out.push_str(&path.join(";"));
+            out.push(' ');
+            out.push_str(&stat.self_us.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn push_span_fields(out: &mut String, stat: &SpanDoc) {
+    out.push_str(&format!(
+        ",\"count\":{},\"total_us\":{},\"self_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"buckets\":[",
+        stat.count,
+        stat.total_us,
+        stat.self_us,
+        stat.buckets.quantile(50, 100),
+        stat.buckets.quantile(95, 100),
+        stat.buckets.quantile(99, 100)
+    ));
+    let mut first = true;
+    for &(b, c) in &stat.buckets.buckets {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("[{b},{c}]"));
+    }
+    if stat.buckets.overflow > 0 {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("[\"inf\",{}]", stat.buckets.overflow));
+    }
+    out.push(']');
+}
+
+// ---------------------------------------------------------------------
+// Time-series (the `--series` JSON format)
+// ---------------------------------------------------------------------
+
+/// One parsed series: retained points plus the decimation stride.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesEntry {
+    /// Keep-one-in-`stride` decimation factor when exported.
+    pub stride: u64,
+    /// Retained `(t_micros, value)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl SeriesEntry {
+    /// The most recent point's value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// Owned multi-series document: the parse of a
+/// [`SeriesStore::to_json`](crate::SeriesStore::to_json).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesDoc {
+    /// Series by name, sorted.
+    pub series: BTreeMap<String, SeriesEntry>,
+}
+
+impl SeriesDoc {
+    /// Parse a series document (`{"series":[...]}`).
+    pub fn parse(text: &str) -> Result<SeriesDoc, SchemaError> {
+        let v = parse_json(text)?;
+        let list = v
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| expected("series array", "series"))?;
+        let mut doc = SeriesDoc::default();
+        for s in list {
+            let name = s
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| expected("series name", "series"))?
+                .to_string();
+            let stride = s.get("stride").and_then(JsonValue::as_u64).unwrap_or(1);
+            let mut points = Vec::new();
+            if let Some(raw) = s.get("points").and_then(JsonValue::as_array) {
+                for p in raw {
+                    let p = p.as_array().ok_or_else(|| expected("point", "series"))?;
+                    let (Some(t), Some(val)) = (
+                        p.first().and_then(JsonValue::as_u64),
+                        p.get(1).and_then(JsonValue::as_f64),
+                    ) else {
+                        return Err(expected("[t,value] point", "series"));
+                    };
+                    points.push((t, val));
+                }
+            }
+            doc.series.insert(name, SeriesEntry { stride, points });
+        }
+        Ok(doc)
+    }
+
+    /// Serialize in the store's layout (names sorted, integral floats
+    /// printed bare). `parse(doc.to_json()) == doc`, and for documents
+    /// produced by [`SeriesStore`](crate::SeriesStore) the round trip is
+    /// byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.series.len() * 128);
+        out.push_str("{\"series\":[");
+        for (i, (name, entry)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            crate::export::escape_json_into(&mut out, name);
+            out.push_str(&format!("\",\"stride\":{},\"points\":[", entry.stride));
+            for (j, (t, v)) in entry.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{t},{}]", json_f64(*v)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Causal trace events (the trace JSONL format)
+// ---------------------------------------------------------------------
+
+/// One owned causal trace event: the parse of a
+/// [`TraceEvent::to_json`](crate::TraceEvent::to_json) line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceEventDoc {
+    /// Virtual-clock reading (µs).
+    pub at_micros: u64,
+    /// Category name (`piece`, `choke`, `msg`).
+    pub cat: String,
+    /// Event name.
+    pub name: String,
+    /// Chain id.
+    pub id: u64,
+    /// Named integer payload, in emission order.
+    pub args: Vec<(String, i64)>,
+}
+
+impl TraceEventDoc {
+    /// Parse one trace JSONL line.
+    pub fn parse_line(line: &str) -> Result<TraceEventDoc, SchemaError> {
+        let v = parse_json(line)?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| expected("object", "trace event"))?;
+        let mut doc = TraceEventDoc {
+            at_micros: obj.get("t").and_then(JsonValue::as_u64).unwrap_or(0),
+            cat: obj
+                .get("cat")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            name: obj
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            id: obj.get("id").and_then(JsonValue::as_u64).unwrap_or(0),
+            args: Vec::new(),
+        };
+        for (k, val) in obj {
+            if matches!(k.as_str(), "t" | "cat" | "name" | "id") {
+                continue;
+            }
+            doc.args.push((
+                k.clone(),
+                val.as_i64()
+                    .ok_or_else(|| expected("integer arg", "trace event"))?,
+            ));
+        }
+        Ok(doc)
+    }
+
+    /// Render as one JSON object in the writer's layout. Args print in
+    /// stored order (sorted by key after a parse — the reader's object
+    /// keys are sorted, which is fine for comparisons).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "{{\"t\":{},\"cat\":\"{}\",\"name\":\"{}\",\"id\":{}",
+            self.at_micros, self.cat, self.name, self.id
+        ));
+        for (k, v) in &self.args {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{buckets, Registry};
+    use crate::{span, Profiler, TimeSource};
+
+    #[test]
+    fn metrics_line_round_trips_byte_identically() {
+        let reg = Registry::new(TimeSource::manual());
+        reg.counter("core.inputs.tick").add(5);
+        reg.counter_with("net.bytes_in", "peer0").add(88);
+        reg.gauge("sim.live_peers").set(4);
+        let h = reg.histogram("core.choke_round_us", buckets::LATENCY_US);
+        h.observe(5);
+        h.observe(5);
+        h.observe(60);
+        reg.time().advance_to(1000);
+        let line = reg.snapshot().to_jsonl_line();
+        let doc = MetricsDoc::parse_line(&line).unwrap();
+        assert_eq!(doc.to_json(), line);
+        assert_eq!(doc.counters["net.bytes_in{peer0}"], 88);
+        assert_eq!(doc.gauges["sim.live_peers"], 4);
+        assert_eq!(doc.histograms["core.choke_round_us"].count, 3);
+    }
+
+    #[test]
+    fn metrics_merge_sums_and_recomputes_fleet_quantiles() {
+        // 90 fast observations in one run, 10 slow in another: the
+        // merged p95 must land in the slow bucket, like a single
+        // histogram that saw all 100.
+        let mk = |bound: u64, n: u64| MetricsDoc {
+            at_micros: bound,
+            counters: [("c".to_string(), n)].into_iter().collect(),
+            gauges: [("g".to_string(), n as i64)].into_iter().collect(),
+            histograms: [(
+                "h".to_string(),
+                HistogramDoc {
+                    count: n,
+                    sum: bound * n,
+                    buckets: vec![(bound, n)],
+                    overflow: 0,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        };
+        let a = mk(10, 90);
+        let b = mk(100_000, 10);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.counters["c"], 100);
+        assert_eq!(ab.gauges["g"], 100);
+        let h = &ab.histograms["h"];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.quantile(50, 100), 10);
+        assert_eq!(h.quantile(95, 100), 100_000);
+    }
+
+    #[test]
+    fn profile_round_trips_and_exports_collapsed_stacks() {
+        let prof = Profiler::new(TimeSource::manual());
+        let t = prof.time().unwrap().clone();
+        {
+            span!(prof, "outer");
+            t.advance_to(100);
+            {
+                span!(prof, "inner");
+                t.advance_to(130);
+            }
+            t.advance_to(135);
+        }
+        let json = prof.snapshot().to_json();
+        let doc = ProfileDoc::parse(&json).unwrap();
+        assert_eq!(doc.to_json(), json);
+        let collapsed = doc.to_collapsed();
+        assert_eq!(collapsed, "outer 105\nouter;inner 30\n");
+    }
+
+    #[test]
+    fn profile_merge_matches_live_merge() {
+        let mk = |us: u64| {
+            let prof = Profiler::new(TimeSource::manual());
+            let t = prof.time().unwrap().clone();
+            {
+                span!(prof, "op");
+                t.advance_to(us);
+            }
+            prof.snapshot()
+        };
+        let (a, b) = (mk(5), mk(50_000));
+        let mut live = a.clone();
+        live.merge(&b);
+        let mut doc = ProfileDoc::parse(&a.to_json()).unwrap();
+        doc.merge(&ProfileDoc::parse(&b.to_json()).unwrap());
+        assert_eq!(doc.to_json(), live.to_json());
+    }
+
+    #[test]
+    fn series_round_trips_byte_identically() {
+        let reg = Registry::new(TimeSource::manual());
+        let store = crate::SeriesStore::with_capacity(&reg, 8);
+        store.record_at("live.entropy", 5, 0.75);
+        store.record_at("sim.live_peers", 5, 4.0);
+        store.record_at("sim.live_peers", 10, 7.0);
+        let json = store.to_json(None);
+        let doc = SeriesDoc::parse(&json).unwrap();
+        assert_eq!(doc.to_json(), json);
+        assert_eq!(doc.series["live.entropy"].last_value(), Some(0.75));
+        assert_eq!(doc.series["sim.live_peers"].points.len(), 2);
+    }
+
+    #[test]
+    fn trace_event_round_trips() {
+        let ev = crate::TraceEvent {
+            at_micros: 1000,
+            cat: crate::TraceCat::Piece,
+            name: "injected",
+            id: 3,
+            args: vec![("by", 0), ("to", -1)],
+        };
+        let line = ev.to_json();
+        let doc = TraceEventDoc::parse_line(&line).unwrap();
+        assert_eq!(doc.at_micros, 1000);
+        assert_eq!(doc.cat, "piece");
+        assert_eq!(doc.name, "injected");
+        assert_eq!(doc.id, 3);
+        assert_eq!(
+            doc.args,
+            vec![("by".to_string(), 0), ("to".to_string(), -1)]
+        );
+        // Args re-sort under the reader's object model; a reparse is
+        // identity even when the byte layout moved.
+        assert_eq!(TraceEventDoc::parse_line(&doc.to_json()).unwrap(), doc);
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(MetricsDoc::parse_line("not json").is_err());
+        assert!(ProfileDoc::parse("{\"nope\":1}").is_err());
+        assert!(SeriesDoc::parse("{}").is_err());
+    }
+
+    #[test]
+    fn reader_keeps_u64_precision() {
+        let v = parse_json("{\"t\":12345678901234567890}").unwrap();
+        assert_eq!(
+            v.get("t").and_then(JsonValue::as_u64),
+            Some(12345678901234567890)
+        );
+    }
+}

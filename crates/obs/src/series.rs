@@ -365,4 +365,49 @@ mod tests {
         s2.record_at("x", 1, 1.0);
         assert_eq!(s.get("x").unwrap().len(), 1);
     }
+
+    #[test]
+    fn capacity_one_is_clamped_to_two_and_still_decimates() {
+        // A one-point ring cannot decimate (keeping "even positions"
+        // of one point never frees a slot), so the constructor clamps
+        // to 2; the ring must then behave exactly like `store(2)`.
+        let s = store(1);
+        for i in 0..64u64 {
+            s.record_at("x", i, i as f64);
+        }
+        let pts = s.get("x").unwrap();
+        assert!(!pts.is_empty() && pts.len() <= 2, "len={}", pts.len());
+        let view = &s.views(None)[0];
+        assert!(view.stride.is_power_of_two());
+        // Every survivor sits on the stride grid.
+        for (t, _) in &pts {
+            assert_eq!(t % view.stride, 0, "t={t} stride={}", view.stride);
+        }
+    }
+
+    #[test]
+    fn constant_series_decimates_like_any_other() {
+        // Decimation is positional, not value-based: a flat line must
+        // not collapse to one point or dodge the stride doubling.
+        let s = store(4);
+        for i in 0..33u64 {
+            s.record_at("flat", i, 7.0);
+        }
+        let view = &s.views(None)[0];
+        assert_eq!(view.stride, 16);
+        let pts: Vec<u64> = view.points.iter().map(|(t, _)| *t).collect();
+        assert_eq!(pts, vec![0, 16, 32]);
+        assert!(view.points.iter().all(|&(_, v)| v == 7.0));
+    }
+
+    #[test]
+    fn empty_store_exports_exact_bytes() {
+        let s = store(8);
+        assert_eq!(s.to_json(None), "{\"series\":[]}");
+        assert_eq!(s.to_json(Some("any.")), "{\"series\":[]}");
+        // A store whose only offered points were non-finite is still
+        // empty on the wire.
+        s.record("x", f64::NEG_INFINITY);
+        assert_eq!(s.to_json(None), "{\"series\":[]}");
+    }
 }

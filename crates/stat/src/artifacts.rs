@@ -1,0 +1,250 @@
+//! Loading the `--emit-dir` one-directory artifact layout.
+//!
+//! ```text
+//! run_dir/
+//!   run.json       manifest: scenario, seed, peers, digest, ...
+//!   metrics.jsonl  registry snapshots (last line = final state)
+//!   series.json    SeriesStore export
+//!   profile.json   span profile
+//!   trace.jsonl    causal trace (sorted, deterministic)
+//! ```
+//!
+//! Only `run.json` is required; every other artifact is optional so a
+//! minimal run (or a hand-built directory in a test) still loads. The
+//! trace is kept as raw text — bisection compares canonical lines and
+//! only parses the handful it reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use bt_obs::schema::{parse_json, JsonValue, MetricsDoc, ProfileDoc, SchemaError, SeriesDoc};
+
+/// Fleet-analytics error: which artifact failed and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatError(pub String);
+
+impl StatError {
+    pub(crate) fn new(msg: impl Into<String>) -> StatError {
+        StatError(msg.into())
+    }
+}
+
+impl fmt::Display for StatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for StatError {}
+
+impl From<SchemaError> for StatError {
+    fn from(e: SchemaError) -> StatError {
+        StatError(e.to_string())
+    }
+}
+
+/// One run's artifacts, loaded from an `--emit-dir` directory (or
+/// constructed directly in tests).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunArtifacts {
+    /// Scenario label from the manifest (e.g. `flash_crowd_1k`).
+    pub scenario: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Peer count, when the manifest recorded it.
+    pub peers: u64,
+    /// Piece count, when the manifest recorded it.
+    pub pieces: u64,
+    /// Events processed by the simulator.
+    pub events_processed: u64,
+    /// Peers that completed the content.
+    pub completed_peers: u64,
+    /// `SwarmResult::digest()` as 16 lowercase hex digits.
+    pub digest: String,
+    /// Final registry snapshot (last `metrics.jsonl` line), if emitted.
+    pub metrics: Option<MetricsDoc>,
+    /// Series export, if emitted.
+    pub series: Option<SeriesDoc>,
+    /// Span profile, if emitted.
+    pub profile: Option<ProfileDoc>,
+    /// Raw causal-trace JSONL, if emitted.
+    pub trace_jsonl: Option<String>,
+}
+
+impl RunArtifacts {
+    /// The key this run sorts and labels under in fleet reports:
+    /// `scenario-s<seed>`, disambiguated by digest when a fleet holds
+    /// repeat runs of one (scenario, seed) pair.
+    pub fn key(&self) -> String {
+        format!("{}-s{}", self.scenario, self.seed)
+    }
+
+    /// Load a run directory written by `swarmrun --emit-dir`.
+    pub fn load(dir: &Path) -> Result<RunArtifacts, StatError> {
+        let manifest_path = dir.join("run.json");
+        let manifest_text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| StatError::new(format!("{}: {e}", manifest_path.display())))?;
+        let manifest = parse_json(&manifest_text)
+            .map_err(|e| StatError::new(format!("{}: {e}", manifest_path.display())))?;
+        let num = |key: &str| manifest.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+
+        let read_opt = |name: &str| -> Result<Option<String>, StatError> {
+            let path = dir.join(name);
+            if !path.exists() {
+                return Ok(None);
+            }
+            std::fs::read_to_string(&path)
+                .map(Some)
+                .map_err(|e| StatError::new(format!("{}: {e}", path.display())))
+        };
+
+        let metrics = match read_opt("metrics.jsonl")? {
+            Some(text) => MetricsDoc::parse_jsonl(&text)?.into_iter().next_back(),
+            None => None,
+        };
+        let series = read_opt("series.json")?
+            .map(|t| SeriesDoc::parse(&t))
+            .transpose()?;
+        let profile = read_opt("profile.json")?
+            .map(|t| ProfileDoc::parse(&t))
+            .transpose()?;
+        let trace_jsonl = read_opt("trace.jsonl")?;
+
+        Ok(RunArtifacts {
+            scenario: manifest
+                .get("scenario")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            seed: num("seed"),
+            peers: num("peers"),
+            pieces: num("pieces"),
+            events_processed: num("events_processed"),
+            completed_peers: num("completed_peers"),
+            digest: manifest
+                .get("digest")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            metrics,
+            series,
+            profile,
+            trace_jsonl,
+        })
+    }
+
+    /// Render the `run.json` manifest for this run (the writer side of
+    /// [`RunArtifacts::load`]; `swarmrun --emit-dir` uses the same
+    /// layout).
+    pub fn manifest_json(&self) -> String {
+        manifest_json(
+            &self.scenario,
+            self.seed,
+            self.peers,
+            self.pieces,
+            self.events_processed,
+            self.completed_peers,
+            &self.digest,
+        )
+    }
+
+    /// Summary row for fleet-report JSON (sorted fixed keys).
+    pub(crate) fn summary_json(&self) -> String {
+        format!(
+            "{{\"key\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\"peers\":{},\"pieces\":{},\
+             \"events_processed\":{},\"completed_peers\":{},\"digest\":\"{}\"}}",
+            self.key(),
+            self.scenario,
+            self.seed,
+            self.peers,
+            self.pieces,
+            self.events_processed,
+            self.completed_peers,
+            self.digest
+        )
+    }
+}
+
+/// Render a `run.json` manifest from parts (shared with `swarmrun`,
+/// which has the fields but no [`RunArtifacts`]).
+pub fn manifest_json(
+    scenario: &str,
+    seed: u64,
+    peers: u64,
+    pieces: u64,
+    events_processed: u64,
+    completed_peers: u64,
+    digest: &str,
+) -> String {
+    format!(
+        "{{\"schema\":\"btstat-run-v1\",\"scenario\":\"{scenario}\",\"seed\":{seed},\
+         \"peers\":{peers},\"pieces\":{pieces},\"events_processed\":{events_processed},\
+         \"completed_peers\":{completed_peers},\"digest\":\"{digest}\"}}"
+    )
+}
+
+/// Series documents keyed by run, as fleet reports overlay them.
+pub(crate) fn series_by_run(runs: &[RunArtifacts]) -> BTreeMap<String, SeriesDoc> {
+    let mut map = BTreeMap::new();
+    for run in runs {
+        if let Some(series) = &run.series {
+            map.insert(run.key(), series.clone());
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("btstat-art-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_round_trips_a_written_directory() {
+        let dir = temp_dir("rt");
+        let run = RunArtifacts {
+            scenario: "flash_crowd_1k".to_string(),
+            seed: 42,
+            peers: 1000,
+            pieces: 8,
+            events_processed: 1234,
+            completed_peers: 1000,
+            digest: "00deadbeef00cafe".to_string(),
+            ..RunArtifacts::default()
+        };
+        std::fs::write(dir.join("run.json"), run.manifest_json()).unwrap();
+        std::fs::write(
+            dir.join("metrics.jsonl"),
+            "{\"t\":1,\"counters\":{\"a\":1},\"gauges\":{},\"histograms\":{}}\n\
+             {\"t\":2,\"counters\":{\"a\":5},\"gauges\":{},\"histograms\":{}}\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("trace.jsonl"), "{\"t\":0}\n").unwrap();
+
+        let loaded = RunArtifacts::load(&dir).unwrap();
+        assert_eq!(loaded.key(), "flash_crowd_1k-s42");
+        assert_eq!(loaded.digest, run.digest);
+        assert_eq!(loaded.events_processed, 1234);
+        // Last metrics line wins.
+        assert_eq!(loaded.metrics.as_ref().unwrap().counters["a"], 5);
+        assert!(loaded.series.is_none());
+        assert!(loaded.profile.is_none());
+        assert_eq!(loaded.trace_jsonl.as_deref(), Some("{\"t\":0}\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = temp_dir("missing");
+        let err = RunArtifacts::load(&dir).unwrap_err();
+        assert!(err.0.contains("run.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

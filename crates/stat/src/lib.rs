@@ -1,0 +1,35 @@
+//! Offline fleet analytics over `bt-*` run artifacts.
+//!
+//! Every run mode in this workspace already emits deterministic,
+//! byte-stable artifacts — metrics JSONL, series JSON, span profiles,
+//! causal trace JSONL, flight-recorder bundles. This crate is the layer
+//! that makes those artifacts *comparable*: it loads the one-directory
+//! layout `swarmrun --emit-dir` writes ([`RunArtifacts`]) and supports
+//! three operations, mirrored by the `btstat` CLI:
+//!
+//! * **merge** ([`FleetReport::merge`]) — commutative aggregation
+//!   across N runs: counters summed, histograms bucket-merged with
+//!   exact fleet-wide quantiles, call-tree profiles merged, series
+//!   overlaid per run key, paper-claim verdicts re-asserted over the
+//!   merged data. The report (JSON or self-contained HTML) is
+//!   byte-identical regardless of input order.
+//! * **diff** ([`diff::diff_runs`], [`diff::attribute`]) — per-metric
+//!   deltas between two runs plus regression *attribution*: per-span
+//!   self-time deltas ranked by contribution to the total shift, and
+//!   collapsed-stack flamegraph export for inferno/speedscope.
+//! * **bisect** ([`bisect::bisect_traces`]) — the determinism
+//!   debugger: when two digests disagree, walk both trace JSONLs in
+//!   lockstep and report the first diverging event with its ±K window.
+//!
+//! Everything here is deterministic and offline; the only inputs are
+//! artifact bytes, the only outputs are strings.
+
+pub mod artifacts;
+pub mod bisect;
+pub mod diff;
+pub mod merge;
+
+pub use artifacts::{RunArtifacts, StatError};
+pub use bisect::{bisect_traces, BisectReport};
+pub use diff::{attribute, diff_runs, MetricDelta, RunDiff, SpanDelta};
+pub use merge::FleetReport;

@@ -57,5 +57,6 @@ pub use bt_net as net;
 pub use bt_obs as obs;
 pub use bt_piece as piece;
 pub use bt_sim as sim;
+pub use bt_stat as stat;
 pub use bt_torrents as torrents;
 pub use bt_wire as wire;
